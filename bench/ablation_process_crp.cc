@@ -1,0 +1,79 @@
+// Process-aware Time-Out Correlation (Section 2.1.1). On the multi-process
+// transactional workload, one transaction's correlated references are
+// spread ~num_processes ticks apart by interleaving, so the CRP must cover
+// several times that gap. But a CRP that long also swallows *inter-process*
+// re-references to hot pages — genuine, independent evidence of popularity
+// (correlated-pair type 4) that the paper says should NOT be factored out.
+//
+// The per-process refinement ("each successive access by the same process
+// within a time-out period is assumed to be correlated") keeps the burst
+// collapse while letting a different process's touch open a new
+// uncorrelated reference immediately. This bench sweeps the CRP with and
+// without process awareness.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+#include "sim/table.h"
+#include "workload/transactional.h"
+
+int main() {
+  using namespace lruk;
+
+  TransactionalOptions topt;
+  topt.num_processes = 8;
+  topt.num_pages = 10000;
+  topt.seed = 19945;
+
+  constexpr size_t kBuffer = 150;
+  const std::vector<Timestamp> kCrps = {0, 8, 16, 32, 64, 128, 256, 512};
+
+  std::printf("Process-aware CRP ablation: transactional workload "
+              "(%u processes, 80-20 skew, txn mean %.0f pages, "
+              "intra-txn reref %.0f%%), LRU-2, B=%zu\n\n",
+              topt.num_processes, topt.mean_pages_per_transaction,
+              100 * topt.intra_transaction_reref, kBuffer);
+
+  AsciiTable table({"CRP", "global-CRP", "per-process-CRP", "delta"});
+
+  double best_global = 0.0;
+  double best_per_process = 0.0;
+  for (Timestamp crp : kCrps) {
+    SimOptions sim;
+    sim.capacity = kBuffer;
+    sim.warmup_refs = 40000;
+    sim.measure_refs = 150000;
+    sim.track_classes = false;
+
+    TransactionalWorkload gen(topt);
+    PolicyConfig global = PolicyConfig::LruK(2, crp);
+    auto global_result = SimulatePolicy(global, gen, sim);
+    if (!global_result.ok()) return 1;
+
+    PolicyConfig per_process = PolicyConfig::LruK(2, crp);
+    per_process.lru_k.per_process_correlation = true;
+    auto pp_result = SimulatePolicy(per_process, gen, sim);
+    if (!pp_result.ok()) return 1;
+
+    double g = global_result->HitRatio();
+    double pp = pp_result->HitRatio();
+    best_global = std::max(best_global, g);
+    best_per_process = std::max(best_per_process, pp);
+    table.AddRow({AsciiTable::Integer(crp), AsciiTable::Fixed(g, 4),
+                  AsciiTable::Fixed(pp, 4),
+                  AsciiTable::Fixed(pp - g, 4)});
+  }
+  table.Print();
+
+  std::printf("\nshape: the best per-process configuration is at least as "
+              "good as the best global one (%.4f vs %.4f): %s\n",
+              best_per_process, best_global,
+              best_per_process >= best_global - 0.002 ? "yes" : "NO");
+  std::printf("(at CRP=0 the two modes coincide; at large CRP the global "
+              "mode discards type-4 inter-process evidence while the "
+              "per-process mode keeps it)\n");
+  return 0;
+}

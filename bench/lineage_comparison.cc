@@ -1,0 +1,121 @@
+// The LRU-K lineage across workloads: the paper spawned a family of
+// frequency-aware replacement policies — 2Q (Johnson & Shasha 1994,
+// approximating LRU-2 in O(1)) and ARC (Megiddo & Modha 2003, self-tuning
+// ghosts). This bench races the family, the classical baselines, and the
+// oracles on all four workload shapes at a fixed buffer, answering the
+// natural follow-up question: how much of the LRU-K idea survives in its
+// descendants?
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+#include "sim/table.h"
+#include "workload/moving_hotspot.h"
+#include "workload/synthetic_oltp.h"
+#include "workload/two_pool.h"
+#include "workload/zipfian_workload.h"
+
+int main() {
+  using namespace lruk;
+
+  const std::vector<const char*> kPolicies = {"LRU", "LFU",   "LRU-2",
+                                              "2Q",  "ARC",   "B0"};
+
+  struct Scenario {
+    const char* name;
+    std::unique_ptr<ReferenceStringGenerator> gen;
+    size_t capacity;
+  };
+  std::vector<Scenario> scenarios;
+  {
+    TwoPoolOptions t;
+    t.seed = 19941;
+    scenarios.push_back(
+        {"two-pool(B=120)", std::make_unique<TwoPoolWorkload>(t), 120});
+  }
+  {
+    ZipfianOptions z;
+    z.seed = 19942;
+    scenarios.push_back(
+        {"zipf-80-20(B=100)", std::make_unique<ZipfianWorkload>(z), 100});
+  }
+  {
+    SyntheticOltpOptions o;
+    o.num_pages = 10000;
+    o.seed = 19943;
+    scenarios.push_back(
+        {"oltp(B=400)", std::make_unique<SyntheticOltpWorkload>(o), 400});
+  }
+  {
+    MovingHotspotOptions m;
+    m.num_pages = 10000;
+    m.hot_pages = 100;
+    m.hot_probability = 0.9;
+    m.epoch_length = 8000;
+    m.shift = 2000;
+    m.seed = 19944;
+    scenarios.push_back({"moving-hotspot(B=150)",
+                         std::make_unique<MovingHotspotWorkload>(m), 150});
+  }
+
+  std::printf("LRU-K lineage comparison (hit ratios; B0 = clairvoyant "
+              "upper bound)\n\n");
+
+  std::vector<std::string> headers = {"workload"};
+  for (const char* p : kPolicies) headers.push_back(p);
+  AsciiTable table(headers);
+
+  bool lineage_beats_lru = true;
+  size_t scenario_index = 0;
+  for (Scenario& scenario : scenarios) {
+    SimOptions sim;
+    sim.capacity = scenario.capacity;
+    sim.warmup_refs = 30000;
+    sim.measure_refs = 120000;
+    sim.track_classes = false;
+
+    std::vector<std::string> row = {scenario.name};
+    double lru = 0.0;
+    double lru2 = 0.0;
+    double two_q = 0.0;
+    double arc = 0.0;
+    for (const char* name : kPolicies) {
+      auto result =
+          SimulatePolicy(*ParsePolicyName(name), *scenario.gen, sim);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s/%s: %s\n", scenario.name, name,
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      double hit = result->HitRatio();
+      row.push_back(AsciiTable::Fixed(hit, 3));
+      std::string_view n(name);
+      if (n == "LRU") lru = hit;
+      if (n == "LRU-2") lru2 = hit;
+      if (n == "2Q") two_q = hit;
+      if (n == "ARC") arc = hit;
+    }
+    table.AddRow(std::move(row));
+    // The claim holds for stationary skew (the first three scenarios); on
+    // fast-moving hot spots pure recency is already near-optimal and the
+    // frequency machinery can only tie it (see ablation_adaptivity).
+    if (scenario_index < 3 &&
+        (lru2 <= lru || two_q <= lru || arc <= lru)) {
+      lineage_beats_lru = false;
+    }
+    ++scenario_index;
+  }
+
+  table.Print();
+  std::printf("\nshape: every frequency-aware descendant (LRU-2, 2Q, ARC) "
+              "beats classical LRU on every stationary skewed workload: "
+              "%s\n",
+              lineage_beats_lru ? "yes" : "NO");
+  std::printf("(on the fast-moving hot spot, recency is already the right "
+              "signal and the family ties LRU within noise — the same "
+              "responsiveness ordering ablation_adaptivity quantifies)\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Substrate microbenchmarks: B+tree (both key types) and heap-file
+// operation latencies through the buffer pool, complementing the policy-
+// and pool-level micros. All data fits in the pool, so the numbers isolate
+// the data-structure cost, not I/O.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "btree/btree.h"
+#include "btree/string_btree.h"
+#include "bufferpool/buffer_pool.h"
+#include "core/lru_k.h"
+#include "heap/heap_file.h"
+#include "storage/sim_disk_manager.h"
+#include "util/random.h"
+
+namespace lruk {
+namespace {
+
+constexpr uint64_t kKeys = 100000;
+
+struct Fixture {
+  Fixture() : pool(1024, &disk, std::make_unique<LruKPolicy>(LruKOptions{})) {}
+  SimDiskManager disk;
+  BufferPool pool;
+};
+
+void BM_BTreeInsertSequential(benchmark::State& state) {
+  Fixture f;
+  BTree tree(&f.pool);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Insert(key, key + 1));
+    ++key;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_BTreeGetRandom(benchmark::State& state) {
+  Fixture f;
+  BTree tree(&f.pool);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    if (!tree.Insert(k, k).ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+  }
+  RandomEngine rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Get(rng.NextBounded(kKeys)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_StringBTreeInsert(benchmark::State& state) {
+  Fixture f;
+  StringBTree tree(&f.pool);
+  uint64_t i = 0;
+  char key[32];
+  for (auto _ : state) {
+    std::snprintf(key, sizeof(key), "key-%012llu",
+                  static_cast<unsigned long long>(i++));
+    benchmark::DoNotOptimize(tree.Insert(key, i));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_StringBTreeGetRandom(benchmark::State& state) {
+  Fixture f;
+  StringBTree tree(&f.pool);
+  char key[32];
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    std::snprintf(key, sizeof(key), "key-%012llu",
+                  static_cast<unsigned long long>(k));
+    if (!tree.Insert(key, k).ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+  }
+  RandomEngine rng(5);
+  for (auto _ : state) {
+    std::snprintf(key, sizeof(key), "key-%012llu",
+                  static_cast<unsigned long long>(rng.NextBounded(kKeys)));
+    benchmark::DoNotOptimize(tree.Get(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_HeapInsert(benchmark::State& state) {
+  Fixture f;
+  HeapFile heap(&f.pool);
+  std::string row(120, 'r');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heap.Insert(row));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_HeapGetRandom(benchmark::State& state) {
+  Fixture f;
+  HeapFile heap(&f.pool);
+  std::vector<RecordId> rids;
+  std::string row(120, 'r');
+  for (int i = 0; i < 60000; ++i) {
+    auto rid = heap.Insert(row);
+    if (!rid.ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+    rids.push_back(*rid);
+  }
+  RandomEngine rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heap.Get(rids[rng.NextBounded(rids.size())]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_BTreeInsertSequential);
+BENCHMARK(BM_BTreeGetRandom);
+BENCHMARK(BM_StringBTreeInsert);
+BENCHMARK(BM_StringBTreeGetRandom);
+BENCHMARK(BM_HeapInsert);
+BENCHMARK(BM_HeapGetRandom);
+
+}  // namespace
+}  // namespace lruk
+
+BENCHMARK_MAIN();

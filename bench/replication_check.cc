@@ -1,0 +1,82 @@
+// Statistical replication of the headline Table 4.1 cells: every other
+// bench runs one seed (deterministically); this one re-runs the key rows
+// with 7 independent workload seeds and reports mean +- 95% CI, verifying
+// that the reproduction does not hinge on a lucky random stream.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "sim/table.h"
+#include "workload/two_pool.h"
+
+int main() {
+  using namespace lruk;
+
+  struct Row {
+    size_t b;
+    double paper_lru1;
+    double paper_lru2;
+  };
+  const std::vector<Row> kRows = {
+      {60, 0.14, 0.291}, {100, 0.22, 0.459}, {140, 0.29, 0.502}};
+  const std::vector<uint64_t> kSeeds = {11, 23, 47, 101, 223, 467, 997};
+
+  std::printf("Replication check: Table 4.1 rows across %zu seeds "
+              "(mean +- 95%% CI)\n\n",
+              kSeeds.size());
+
+  AsciiTable table({"B", "policy", "mean", "+-95%CI", "min", "max",
+                    "paper", "paper-in-2xCI"});
+  bool all_consistent = true;
+
+  for (const Row& row : kRows) {
+    for (int policy_index = 0; policy_index < 2; ++policy_index) {
+      PolicyConfig config =
+          policy_index == 0 ? PolicyConfig::Lru() : PolicyConfig::LruK(2);
+      double paper = policy_index == 0 ? row.paper_lru1 : row.paper_lru2;
+
+      RunningStats stats;
+      for (uint64_t seed : kSeeds) {
+        TwoPoolOptions topt;
+        topt.n1 = 100;
+        topt.n2 = 10000;
+        topt.seed = seed;
+        TwoPoolWorkload gen(topt);
+        SimOptions sim;
+        sim.capacity = row.b;
+        sim.warmup_refs = 1000;
+        // The paper's own 30*N1 measurement window, so the CI reflects the
+        // paper's methodology.
+        sim.measure_refs = 30 * topt.n1;
+        sim.track_classes = false;
+        auto result = SimulatePolicy(config, gen, sim);
+        if (!result.ok()) return 1;
+        stats.Add(result->HitRatio());
+      }
+
+      double ci = stats.ConfidenceHalfWidth95();
+      // Paper agreement within a generous 2x CI + rounding slack (the
+      // paper reports 2-3 significant digits).
+      bool consistent =
+          std::abs(stats.Mean() - paper) <= 2.0 * ci + 0.006;
+      all_consistent = all_consistent && consistent;
+      table.AddRow({AsciiTable::Integer(row.b),
+                    policy_index == 0 ? "LRU-1" : "LRU-2",
+                    AsciiTable::Fixed(stats.Mean(), 4),
+                    AsciiTable::Fixed(ci, 4),
+                    AsciiTable::Fixed(stats.Min(), 4),
+                    AsciiTable::Fixed(stats.Max(), 4),
+                    AsciiTable::Fixed(paper, 3),
+                    consistent ? "yes" : "NO"});
+    }
+  }
+  table.Print();
+  std::printf("\nshape: every paper value is statistically consistent with "
+              "the replicated mean: %s\n",
+              all_consistent ? "yes" : "NO");
+  return 0;
+}

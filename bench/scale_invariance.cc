@@ -1,0 +1,84 @@
+// Scale invariance (Section 4.1, final paragraph): "note that the same
+// results hold if all page numbers, N1, N2 and B are multiplied by 1000.
+// The smaller numbers were used in simulation to save effort." This bench
+// verifies the claim at x1, x10 and x50 scale (x1000 would also work but
+// adds nothing beyond runtime): hit ratios at corresponding (N1, N2, B)
+// points must agree across scales.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+#include "sim/table.h"
+#include "workload/two_pool.h"
+
+int main() {
+  using namespace lruk;
+
+  const std::vector<uint64_t> kScales = {1, 10, 50};
+  // Base (scale 1) buffer sizes: the knee region of Table 4.1.
+  const std::vector<size_t> kBaseB = {60, 100, 140, 300};
+
+  std::printf("Scale invariance of the two-pool experiment "
+              "(N1=100s, N2=10000s, B=bs for scale s)\n\n");
+
+  AsciiTable table({"scale", "B(base)", "LRU-1", "LRU-2", "A0"});
+  // ratios[scale_index][b_index][policy]
+  std::vector<std::vector<std::vector<double>>> ratios(kScales.size());
+
+  for (size_t si = 0; si < kScales.size(); ++si) {
+    uint64_t scale = kScales[si];
+    TwoPoolOptions topt;
+    topt.n1 = 100 * scale;
+    topt.n2 = 10000 * scale;
+    topt.seed = 19947 + scale;
+    ratios[si].resize(kBaseB.size());
+
+    for (size_t bi = 0; bi < kBaseB.size(); ++bi) {
+      TwoPoolWorkload gen(topt);
+      SimOptions sim;
+      sim.capacity = kBaseB[bi] * scale;
+      sim.warmup_refs = 10 * topt.n1;
+      sim.measure_refs = 300 * topt.n1;
+      sim.track_classes = false;
+
+      for (const PolicyConfig& config :
+           {PolicyConfig::Lru(), PolicyConfig::LruK(2), PolicyConfig::A0()}) {
+        auto result = SimulatePolicy(config, gen, sim);
+        if (!result.ok()) {
+          std::fprintf(stderr, "scale %llu: %s\n",
+                       static_cast<unsigned long long>(scale),
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        ratios[si][bi].push_back(result->HitRatio());
+      }
+      char scale_label[24];
+      std::snprintf(scale_label, sizeof(scale_label), "x%llu",
+                    static_cast<unsigned long long>(scale));
+      table.AddRow({scale_label,
+                    AsciiTable::Integer(kBaseB[bi]),
+                    AsciiTable::Fixed(ratios[si][bi][0], 3),
+                    AsciiTable::Fixed(ratios[si][bi][1], 3),
+                    AsciiTable::Fixed(ratios[si][bi][2], 3)});
+    }
+  }
+  table.Print();
+
+  // Every scaled point must agree with the base scale within noise.
+  double worst = 0.0;
+  for (size_t si = 1; si < kScales.size(); ++si) {
+    for (size_t bi = 0; bi < kBaseB.size(); ++bi) {
+      for (size_t pi = 0; pi < 3; ++pi) {
+        double diff = ratios[si][bi][pi] - ratios[0][bi][pi];
+        if (diff < 0) diff = -diff;
+        if (diff > worst) worst = diff;
+      }
+    }
+  }
+  std::printf("\nshape: hit ratios are scale-invariant "
+              "(max |difference| = %.3f, threshold 0.02): %s\n",
+              worst, worst < 0.02 ? "yes" : "NO");
+  return 0;
+}

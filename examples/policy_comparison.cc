@@ -1,0 +1,113 @@
+// Compare replacement policies on a chosen workload from the command line.
+//
+//   $ ./policy_comparison [workload] [buffer] [refs] [policy...]
+//
+//   workload: twopool | zipf | uniform | scan | hotspot | oltp
+//   buffer:   buffer size in pages            (default 100)
+//   refs:     measured references             (default 100000)
+//   policy:   any of LRU, LRU-2, LRU-3, ..., LFU, FIFO, CLOCK, GCLOCK,
+//             LRD, MRU, RANDOM, 2Q, A0, B0   (default: a standard set)
+//
+// Example:
+//   $ ./policy_comparison zipf 200 50000 LRU LRU-2 2Q B0
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+#include "sim/table.h"
+#include "workload/moving_hotspot.h"
+#include "workload/sequential.h"
+#include "workload/synthetic_oltp.h"
+#include "workload/two_pool.h"
+#include "workload/uniform_workload.h"
+#include "workload/zipfian_workload.h"
+
+namespace {
+
+std::unique_ptr<lruk::ReferenceStringGenerator> MakeWorkload(
+    const std::string& name) {
+  using namespace lruk;
+  if (name == "twopool") {
+    return std::make_unique<TwoPoolWorkload>(TwoPoolOptions{});
+  }
+  if (name == "zipf") {
+    return std::make_unique<ZipfianWorkload>(ZipfianOptions{});
+  }
+  if (name == "uniform") {
+    return std::make_unique<UniformWorkload>(UniformOptions{});
+  }
+  if (name == "scan") {
+    MixedScanOptions options;
+    options.scan_initially_active = true;
+    return std::make_unique<MixedScanWorkload>(options);
+  }
+  if (name == "hotspot") {
+    return std::make_unique<MovingHotspotWorkload>(MovingHotspotOptions{});
+  }
+  if (name == "oltp") {
+    return std::make_unique<SyntheticOltpWorkload>(SyntheticOltpOptions{});
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lruk;
+
+  std::string workload_name = argc > 1 ? argv[1] : "twopool";
+  size_t buffer = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100;
+  uint64_t refs = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 100000;
+  std::vector<std::string> policy_names;
+  for (int i = 4; i < argc; ++i) policy_names.push_back(argv[i]);
+  if (policy_names.empty()) {
+    policy_names = {"LRU", "LRU-2", "LRU-3", "LFU", "CLOCK", "2Q", "RANDOM"};
+  }
+
+  auto workload = MakeWorkload(workload_name);
+  if (workload == nullptr || buffer == 0 || refs == 0) {
+    std::fprintf(stderr,
+                 "usage: %s [twopool|zipf|uniform|scan|hotspot|oltp] "
+                 "[buffer>0] [refs>0] [policy...]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  SimOptions sim;
+  sim.capacity = buffer;
+  sim.warmup_refs = refs / 4;
+  sim.measure_refs = refs;
+
+  std::printf("workload=%s  pages=%llu  buffer=%zu  refs=%llu "
+              "(+%llu warmup)\n\n",
+              workload_name.c_str(),
+              static_cast<unsigned long long>(workload->NumPages()), buffer,
+              static_cast<unsigned long long>(refs),
+              static_cast<unsigned long long>(sim.warmup_refs));
+
+  AsciiTable table({"policy", "hit-ratio", "misses", "evictions"});
+  for (const std::string& name : policy_names) {
+    auto config = ParsePolicyName(name);
+    if (!config) {
+      std::fprintf(stderr, "unknown policy: %s\n", name.c_str());
+      return 2;
+    }
+    auto result = SimulatePolicy(*config, *workload, sim);
+    if (!result.ok()) {
+      std::printf("%-8s (skipped: %s)\n", name.c_str(),
+                  result.status().ToString().c_str());
+      continue;
+    }
+    table.AddRow({result->policy_name,
+                  AsciiTable::Fixed(result->HitRatio(), 4),
+                  AsciiTable::Integer(result->misses),
+                  AsciiTable::Integer(result->evictions)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Quickstart: the LRU-K policy as a standalone component, then the same
+// policy driven through the simulation harness.
+//
+//   $ ./quickstart
+//
+// Part 1 replays the exact scenario from the paper's Section 2: two pages
+// with different reference frequencies, where classical LRU evicts the
+// wrong one and LRU-2 does not.
+// Part 2 runs the policy over the Table 4.1 two-pool workload with one
+// call and prints the hit ratios.
+
+#include <cstdio>
+
+#include "core/lru.h"
+#include "core/lru_k.h"
+#include "sim/simulator.h"
+#include "workload/two_pool.h"
+
+int main() {
+  using namespace lruk;
+
+  // ---------------------------------------------------------------
+  // Part 1: the policy by hand.
+  // ---------------------------------------------------------------
+  std::printf("== Part 1: LRU-2 vs LRU on a two-page scenario ==\n\n");
+
+  LruKOptions options;
+  options.k = 2;  // Track the last two uncorrelated references.
+  LruKPolicy lru2(options);
+  LruPolicy lru;
+
+  // Page 7 is hot (referenced twice); page 9 was just fetched once.
+  for (ReplacementPolicy* policy :
+       {static_cast<ReplacementPolicy*>(&lru2),
+        static_cast<ReplacementPolicy*>(&lru)}) {
+    policy->Admit(7, AccessType::kRead);         // t=1: fault 7 in
+    policy->RecordAccess(7, AccessType::kRead);  // t=2: hit on 7
+    policy->Admit(9, AccessType::kRead);         // t=3: fault 9 in
+    auto victim = policy->Evict();               // Who goes?
+    std::printf("%-6s evicts page %llu  %s\n",
+                std::string(policy->Name()).c_str(),
+                static_cast<unsigned long long>(*victim),
+                *victim == 9 ? "(the one-shot page: correct)"
+                             : "(the hot page! LRU's blind spot)");
+  }
+
+  // Backward K-distance introspection.
+  LruKPolicy fresh(options);
+  fresh.Admit(7, AccessType::kRead);
+  fresh.RecordAccess(7, AccessType::kRead);
+  fresh.Admit(9, AccessType::kRead);
+  auto b7 = fresh.BackwardKDistance(7);
+  auto b9 = fresh.BackwardKDistance(9);
+  std::printf("\nb_t(7,2) = %s, b_t(9,2) = %s  "
+              "(infinity means: fewer than K references known)\n",
+              b7 ? std::to_string(*b7).c_str() : "infinity",
+              b9 ? std::to_string(*b9).c_str() : "infinity");
+
+  // ---------------------------------------------------------------
+  // Part 2: the simulation harness.
+  // ---------------------------------------------------------------
+  std::printf("\n== Part 2: the Table 4.1 workload in four lines ==\n\n");
+
+  TwoPoolOptions workload_options;  // N1=100 hot, N2=10000 cold pages.
+  TwoPoolWorkload workload(workload_options);
+  SimOptions sim;
+  sim.capacity = 100;
+  sim.warmup_refs = 1000;
+  sim.measure_refs = 30000;
+
+  for (const char* name : {"LRU", "LRU-2", "A0"}) {
+    auto result = SimulatePolicy(*ParsePolicyName(name), workload, sim);
+    if (!result.ok()) {
+      std::fprintf(stderr, "simulation failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-6s B=%zu  hit ratio %.3f   (hot pages resident at end: "
+                "%llu of 100)\n",
+                name, sim.capacity, result->HitRatio(),
+                static_cast<unsigned long long>(
+                    result->classes[0].resident_at_end));
+  }
+  std::printf("\nLRU-2 approaches the A0 oracle, which knows the true "
+              "reference probabilities; LRU wastes half the buffer on "
+              "pages with a 1/20000 reference probability.\n");
+  return 0;
+}

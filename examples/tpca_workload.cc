@@ -1,0 +1,164 @@
+// A scaled-down TPC-A bank workload (the benchmark the paper's Example 1.1
+// models — "references randomly chosen customer records through a
+// clustered B-tree indexed key, cf. [TPC-A]"), run end-to-end on the real
+// stack: four B+trees (accounts, tellers, branches, history) sharing one
+// buffer pool over the simulated disk.
+//
+//   $ ./tpca_workload [transactions] [buffer-frames]
+//
+// Account records live on dedicated record pages (50 per 4 KB page); the
+// accounts B+tree is a clustered index mapping account id -> record page.
+// Each transaction probes one uniform random account through the index,
+// updates its record page, updates the teller and branch balances, and
+// appends a history row. The hot set is therefore the teller/branch
+// trees, the account index (root + leaves), and the history tail; the
+// 2,000 account record pages are cold — the exact index-vs-data
+// discrimination problem the paper opens with. The run is repeated under
+// LRU, LRU-2, 2Q and ARC and reports disk I/O per transaction.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "btree/btree.h"
+#include "bufferpool/buffer_pool.h"
+#include "core/policy_factory.h"
+#include "sim/table.h"
+#include "storage/sim_disk_manager.h"
+#include "util/random.h"
+
+namespace {
+
+constexpr uint64_t kBranches = 10;
+constexpr uint64_t kTellersPerBranch = 10;
+constexpr uint64_t kAccountsPerBranch = 10000;
+constexpr uint64_t kRecordsPerPage = 50;  // ~80-byte account rows.
+
+struct RunResult {
+  double pool_hit_ratio = 0.0;
+  double reads_per_txn = 0.0;
+  double writes_per_txn = 0.0;
+};
+
+bool RunTpcA(const char* policy_name, int transactions, size_t frames,
+             RunResult* out) {
+  using namespace lruk;
+
+  SimDiskManager disk;
+  PolicyContext context;
+  context.capacity = frames;
+  auto policy = MakePolicy(*ParsePolicyName(policy_name), context);
+  if (!policy.ok()) {
+    std::fprintf(stderr, "%s: %s\n", policy_name,
+                 policy.status().ToString().c_str());
+    return false;
+  }
+  BufferPool pool(frames, &disk, std::move(*policy));
+
+  BTree accounts(&pool);
+  BTree tellers(&pool);
+  BTree branches(&pool);
+  BTree history(&pool);
+
+  for (uint64_t b = 0; b < kBranches; ++b) {
+    if (!branches.Insert(b, 0).ok()) return false;
+  }
+  for (uint64_t t = 0; t < kBranches * kTellersPerBranch; ++t) {
+    if (!tellers.Insert(t, 0).ok()) return false;
+  }
+  // Account record pages, then the clustered index over them.
+  std::vector<PageId> record_pages;
+  uint64_t total_accounts = kBranches * kAccountsPerBranch;
+  for (uint64_t i = 0; i < total_accounts / kRecordsPerPage; ++i) {
+    auto page = pool.NewPage();
+    if (!page.ok()) return false;
+    record_pages.push_back((*page)->id());
+    if (!pool.UnpinPage((*page)->id(), true).ok()) return false;
+  }
+  for (uint64_t a = 0; a < total_accounts; ++a) {
+    if (!accounts.Insert(a, record_pages[a / kRecordsPerPage]).ok()) {
+      return false;
+    }
+  }
+
+  disk.ResetStats();
+  pool.ResetStats();
+
+  RandomEngine rng(20260704);
+  uint64_t history_id = 0;
+  for (int i = 0; i < transactions; ++i) {
+    uint64_t account = rng.NextBounded(kBranches * kAccountsPerBranch);
+    uint64_t teller = rng.NextBounded(kBranches * kTellersPerBranch);
+    uint64_t branch = teller / kTellersPerBranch;
+    int64_t delta = rng.NextInRange(-99999, 99999);
+
+    // Index probe, then update the account's row on its record page.
+    auto record_page = accounts.Get(account);
+    if (!record_page.ok()) return false;
+    {
+      auto guard = PageGuard::Fetch(pool, *record_page, AccessType::kWrite);
+      if (!guard.ok()) return false;
+      auto* rows = guard->AsMut<uint64_t>();
+      rows[account % kRecordsPerPage] += static_cast<uint64_t>(delta);
+    }
+
+    auto tbal = tellers.Get(teller);
+    if (!tbal.ok() ||
+        !tellers.Update(teller, *tbal + static_cast<uint64_t>(delta)).ok()) {
+      return false;
+    }
+    auto bbal = branches.Get(branch);
+    if (!bbal.ok() ||
+        !branches.Update(branch, *bbal + static_cast<uint64_t>(delta)).ok()) {
+      return false;
+    }
+    if (!history.Insert(history_id++, account).ok()) return false;
+  }
+  if (!pool.FlushAll().ok()) return false;
+
+  out->pool_hit_ratio = pool.stats().HitRatio();
+  out->reads_per_txn =
+      static_cast<double>(disk.stats().reads) / transactions;
+  out->writes_per_txn =
+      static_cast<double>(disk.stats().writes) / transactions;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lruk;
+
+  int transactions = argc > 1 ? std::atoi(argv[1]) : 20000;
+  size_t frames = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 500;
+  if (transactions <= 0 || frames == 0) {
+    std::fprintf(stderr, "usage: %s [transactions>0] [buffer-frames>0]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::printf("TPC-A scaled: %llu branches, %llu tellers, %llu accounts; "
+              "%d transactions, %zu buffer frames\n\n",
+              static_cast<unsigned long long>(kBranches),
+              static_cast<unsigned long long>(kBranches * kTellersPerBranch),
+              static_cast<unsigned long long>(kBranches * kAccountsPerBranch),
+              transactions, frames);
+
+  AsciiTable table(
+      {"policy", "pool-hit-ratio", "disk-reads/txn", "disk-writes/txn"});
+  for (const char* name : {"LRU", "LRU-2", "2Q", "ARC"}) {
+    RunResult result;
+    if (!RunTpcA(name, transactions, frames, &result)) return 1;
+    table.AddRow({name, AsciiTable::Fixed(result.pool_hit_ratio, 4),
+                  AsciiTable::Fixed(result.reads_per_txn, 3),
+                  AsciiTable::Fixed(result.writes_per_txn, 3)});
+  }
+  table.Print();
+  std::printf("\nThe ~400 account-index leaves are re-referenced ~5x more "
+              "often than the 2,000 record pages; frequency-aware policies "
+              "keep the whole index resident and pay only the unavoidable "
+              "cold record read, while LRU splits the buffer between "
+              "them.\n");
+  return 0;
+}

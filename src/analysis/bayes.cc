@@ -1,0 +1,109 @@
+#include "analysis/bayes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/macros.h"
+
+namespace lruk {
+
+namespace {
+
+// Validates beta and returns log(beta_j), log(1-beta_j) pairs.
+void CheckBeta(const std::vector<double>& beta, int K, uint64_t k) {
+  LRUK_ASSERT(!beta.empty(), "beta must be nonempty");
+  LRUK_ASSERT(K >= 1, "K must be >= 1");
+  LRUK_ASSERT(k >= static_cast<uint64_t>(K),
+              "backward distance must be at least K");
+  for (double b : beta) {
+    LRUK_ASSERT(b > 0.0 && b < 1.0, "beta components must lie in (0,1)");
+  }
+}
+
+// Computes the two sums of formula (3.7) in log space:
+//   num = sum_j beta_j^(K+1) (1-beta_j)^(k-K+1)
+//   den = sum_j beta_j^K     (1-beta_j)^(k-K+1)
+// Returns per-term log weights of the denominator via `log_weights` when
+// non-null (for formula (3.6)).
+void LogSums(const std::vector<double>& beta, int K, uint64_t k,
+             double* log_num_sum, double* log_den_sum,
+             std::vector<double>* log_weights) {
+  const double exponent = static_cast<double>(k) - static_cast<double>(K) + 1.0;
+  const size_t n = beta.size();
+  std::vector<double> log_den(n);
+  double max_den = -std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < n; ++j) {
+    log_den[j] =
+        static_cast<double>(K) * std::log(beta[j]) + exponent * std::log1p(-beta[j]);
+    max_den = std::max(max_den, log_den[j]);
+  }
+  double den = 0.0;
+  double num = 0.0;
+  for (size_t j = 0; j < n; ++j) {
+    double w = std::exp(log_den[j] - max_den);
+    den += w;
+    num += w * beta[j];  // Extra beta_j factor turns K into K+1.
+  }
+  if (log_num_sum != nullptr) *log_num_sum = max_den + std::log(num);
+  if (log_den_sum != nullptr) *log_den_sum = max_den + std::log(den);
+  if (log_weights != nullptr) *log_weights = std::move(log_den);
+}
+
+}  // namespace
+
+std::vector<double> PosteriorComponentProbabilities(
+    const std::vector<double>& beta, int K, uint64_t k) {
+  CheckBeta(beta, K, k);
+  std::vector<double> log_weights;
+  double log_den = 0.0;
+  LogSums(beta, K, k, nullptr, &log_den, &log_weights);
+  std::vector<double> posterior(beta.size());
+  for (size_t j = 0; j < beta.size(); ++j) {
+    posterior[j] = std::exp(log_weights[j] - log_den);
+  }
+  return posterior;
+}
+
+double EstimatedReferenceProbability(const std::vector<double>& beta, int K,
+                                     uint64_t k) {
+  CheckBeta(beta, K, k);
+  double log_num = 0.0;
+  double log_den = 0.0;
+  LogSums(beta, K, k, &log_num, &log_den, nullptr);
+  return std::exp(log_num - log_den);
+}
+
+bool EstimateIsStrictlyDecreasing(const std::vector<double>& beta, int K,
+                                  uint64_t k_max) {
+  uint64_t k0 = static_cast<uint64_t>(K);
+  LRUK_ASSERT(k_max >= k0, "k_max must be at least K");
+  double prev = EstimatedReferenceProbability(beta, K, k0);
+  for (uint64_t k = k0 + 1; k <= k_max; ++k) {
+    double cur = EstimatedReferenceProbability(beta, K, k);
+    if (!(cur < prev)) return false;
+    prev = cur;
+  }
+  return true;
+}
+
+double ExpectedCostOfTopM(const std::vector<double>& beta, int K,
+                          const std::vector<uint64_t>& backward_distances,
+                          size_t m) {
+  LRUK_ASSERT(m <= backward_distances.size(),
+              "buffer larger than the page population");
+  // E_t(P(i)) is decreasing in the backward distance (Lemma 3.6), so the
+  // top-m estimates belong to the m smallest distances.
+  std::vector<uint64_t> sorted = backward_distances;
+  std::sort(sorted.begin(), sorted.end());
+  double covered = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    if (sorted[i] == std::numeric_limits<uint64_t>::max()) break;
+    uint64_t k = std::max<uint64_t>(sorted[i], static_cast<uint64_t>(K));
+    covered += EstimatedReferenceProbability(beta, K, k);
+  }
+  double cost = 1.0 - covered;
+  return cost < 0.0 ? 0.0 : cost;
+}
+
+}  // namespace lruk

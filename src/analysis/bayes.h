@@ -1,0 +1,66 @@
+// Closed-form implementations of the paper's Section 3 Bayesian analysis.
+//
+// Under the Independent Reference Model with an unknown permutation mapping
+// pages onto a known probability vector beta = {beta_1..beta_n}:
+//
+//  * Formula (3.6) (Lemma 3.4): the posterior probability that page i maps
+//    to component v, given that its Backward K-distance b_t(i,K) = k:
+//
+//        P(x(i)=v | b) = beta_v^K (1-beta_v)^(k-K+1)
+//                        / sum_j beta_j^K (1-beta_j)^(k-K+1)
+//
+//    (Formula (3.2) / Lemma 3.3 is the K = 2 special case.)
+//
+//  * Formula (3.7) (Lemma 3.5): the a-posteriori estimate of page i's
+//    reference probability,
+//
+//        E_t(P(i)) = sum_j beta_j^(K+1) (1-beta_j)^(k-K+1)
+//                    / sum_j beta_j^K (1-beta_j)^(k-K+1)
+//
+//  * Lemma 3.6: E_t(P(i)) is strictly decreasing in k whenever beta has at
+//    least two distinct values — the fact that makes ordering pages by
+//    Backward K-distance optimal. IsMonotoneDecreasing verifies this
+//    numerically over a range of k.
+//
+// All sums are computed in log space so they remain stable for backward
+// distances in the millions.
+
+#ifndef LRUK_ANALYSIS_BAYES_H_
+#define LRUK_ANALYSIS_BAYES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lruk {
+
+// Formula (3.6). `beta` must be a probability vector (each in (0,1), sum
+// ~1); `k` is the observed Backward K-distance and must satisfy k >= K.
+// Returns the n posterior probabilities P(x(i)=v | b_t(i,K)=k).
+std::vector<double> PosteriorComponentProbabilities(
+    const std::vector<double>& beta, int K, uint64_t k);
+
+// Formula (3.7): E(P(i) | b_t(i,K) = k).
+double EstimatedReferenceProbability(const std::vector<double>& beta, int K,
+                                     uint64_t k);
+
+// Numerically checks Lemma 3.6 over k in [K, k_max]: returns true iff
+// EstimatedReferenceProbability is strictly decreasing in k (allowing for
+// floating-point slack when all beta values are equal, in which case the
+// estimate is constant and the function returns false as the lemma
+// requires two distinct values).
+bool EstimateIsStrictlyDecreasing(const std::vector<double>& beta, int K,
+                                  uint64_t k_max);
+
+// Expected cost of holding the pages with the m largest estimates, i.e. a
+// direct evaluation of formula (3.9) for the LRU-K buffer state: given
+// backward distances b[i] for each page (UINT64_MAX = infinity), returns
+// 1 - sum of the m largest E_t(P(i)). Used to compare LRU-K's buffer
+// against alternatives in the analysis bench.
+double ExpectedCostOfTopM(const std::vector<double>& beta, int K,
+                          const std::vector<uint64_t>& backward_distances,
+                          size_t m);
+
+}  // namespace lruk
+
+#endif  // LRUK_ANALYSIS_BAYES_H_

@@ -1,0 +1,121 @@
+#include "analysis/lru_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/macros.h"
+
+namespace lruk {
+
+double DanTowsleyLruHitRatio(const std::vector<double>& beta,
+                             size_t buffers) {
+  LRUK_ASSERT(!beta.empty(), "beta must be nonempty");
+  const size_t n = beta.size();
+  if (buffers >= n) return 1.0;
+  // b[i] = P(page i among the top-j LRU stack positions), built up one
+  // stack position at a time.
+  std::vector<double> b(n, 0.0);
+  for (size_t j = 0; j < buffers; ++j) {
+    double denom = 0.0;
+    for (size_t i = 0; i < n; ++i) denom += beta[i] * (1.0 - b[i]);
+    if (denom <= 0.0) break;  // Everything already resident.
+    for (size_t i = 0; i < n; ++i) {
+      b[i] += beta[i] * (1.0 - b[i]) / denom;
+    }
+  }
+  double hit = 0.0;
+  for (size_t i = 0; i < n; ++i) hit += beta[i] * std::min(1.0, b[i]);
+  return std::min(1.0, hit);
+}
+
+double CheLruHitRatio(const std::vector<double>& beta, size_t buffers) {
+  LRUK_ASSERT(!beta.empty(), "beta must be nonempty");
+  const size_t n = beta.size();
+  if (buffers >= n) return 1.0;
+
+  // Expected occupancy at characteristic time T.
+  auto occupancy = [&](double t) {
+    double total = 0.0;
+    for (double p : beta) total += 1.0 - std::exp(-p * t);
+    return total;
+  };
+
+  // Bisection on T: occupancy is increasing from 0 toward n.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (occupancy(hi) < static_cast<double>(buffers)) {
+    hi *= 2.0;
+    LRUK_ASSERT(hi < 1e18, "characteristic time failed to bracket");
+  }
+  for (int iter = 0; iter < 100; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (occupancy(mid) < static_cast<double>(buffers)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  double t = 0.5 * (lo + hi);
+
+  double hit = 0.0;
+  for (double p : beta) hit += p * (1.0 - std::exp(-p * t));
+  return std::min(1.0, hit);
+}
+
+double CheLruKHitRatio(const std::vector<double>& beta, int k,
+                       size_t buffers) {
+  LRUK_ASSERT(!beta.empty(), "beta must be nonempty");
+  LRUK_ASSERT(k >= 1, "K must be >= 1");
+  const size_t n = beta.size();
+  if (buffers >= n) return 1.0;
+
+  // P(Poisson(lambda) >= k) = 1 - sum_{j<k} e^-lambda lambda^j / j!.
+  auto occupancy_of = [k](double lambda) {
+    double term = std::exp(-lambda);  // j = 0.
+    double cdf = term;
+    for (int j = 1; j < k; ++j) {
+      term *= lambda / j;
+      cdf += term;
+    }
+    return 1.0 - cdf;
+  };
+  auto total_occupancy = [&](double t) {
+    double total = 0.0;
+    for (double p : beta) total += occupancy_of(p * t);
+    return total;
+  };
+
+  double lo = 0.0;
+  double hi = 1.0;
+  while (total_occupancy(hi) < static_cast<double>(buffers)) {
+    hi *= 2.0;
+    LRUK_ASSERT(hi < 1e18, "characteristic time failed to bracket");
+  }
+  for (int iter = 0; iter < 100; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (total_occupancy(mid) < static_cast<double>(buffers)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  double t = 0.5 * (lo + hi);
+
+  double hit = 0.0;
+  for (double p : beta) hit += p * occupancy_of(p * t);
+  return std::min(1.0, hit);
+}
+
+double A0HitRatio(const std::vector<double>& beta, size_t buffers) {
+  LRUK_ASSERT(!beta.empty(), "beta must be nonempty");
+  if (buffers >= beta.size()) return 1.0;
+  std::vector<double> sorted = beta;
+  std::partial_sort(sorted.begin(), sorted.begin() + buffers, sorted.end(),
+                    std::greater<double>());
+  double hit = 0.0;
+  for (size_t i = 0; i < buffers; ++i) hit += sorted[i];
+  return std::min(1.0, hit);
+}
+
+}  // namespace lruk

@@ -1,0 +1,53 @@
+// Analytic LRU models under the Independent Reference Model — the kind of
+// approximate analysis the paper cites as [DANTOWS] (Dan & Towsley, "An
+// Approximate Analysis of the LRU and FIFO Buffer Replacement Schemes",
+// SIGMETRICS 1990). These close the loop between Section 3's probability
+// theory and Section 4's simulations: the analytic LRU-1 hit ratio should
+// match the simulator's measured LRU-1 column without running a single
+// reference.
+//
+//  * DanTowsleyLruHitRatio — the stack-position recursion: position j+1 of
+//    the LRU stack holds page i with probability proportional to
+//    p_i * (1 - b_i(j)), where b_i(j) is the probability page i is in the
+//    top j positions. O(N * B).
+//
+//  * CheLruHitRatio — the characteristic-time fixed point (widely known as
+//    the Che approximation): solve sum_i (1 - e^(-p_i T)) = B for T, then
+//    hit ratio = sum_i p_i (1 - e^(-p_i T)). O(N log(1/eps)).
+//
+//  * A0HitRatio — the exact steady-state hit ratio of the A0 oracle: the
+//    sum of the B largest probabilities.
+
+#ifndef LRUK_ANALYSIS_LRU_MODEL_H_
+#define LRUK_ANALYSIS_LRU_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace lruk {
+
+// Dan-Towsley stack approximation of LRU's steady-state hit ratio with
+// `buffers` frames under IRM probabilities `beta` (nonnegative, sum ~1).
+// If buffers >= beta.size() the ratio is 1.
+double DanTowsleyLruHitRatio(const std::vector<double>& beta, size_t buffers);
+
+// Che (characteristic time) approximation of the same quantity.
+double CheLruHitRatio(const std::vector<double>& beta, size_t buffers);
+
+// Characteristic-time approximation generalized to LRU-K with retained
+// history: under IRM a page is resident iff it has at least K arrivals
+// within the characteristic window T (its HIST(p,K) is recent enough), so
+// occupancy_i = P(Poisson(p_i * T) >= K); T solves sum_i occupancy_i = B
+// and the hit ratio is sum_i p_i * occupancy_i. K = 1 reduces to
+// CheLruHitRatio. Assumes CRP = 0 and an unbounded Retained Information
+// Period, matching the paper's simulation setup.
+double CheLruKHitRatio(const std::vector<double>& beta, int k,
+                       size_t buffers);
+
+// Exact steady-state hit ratio of the A0 policy (Definition 3.1): it pins
+// the `buffers` most probable pages.
+double A0HitRatio(const std::vector<double>& beta, size_t buffers);
+
+}  // namespace lruk
+
+#endif  // LRUK_ANALYSIS_LRU_MODEL_H_

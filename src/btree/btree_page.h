@@ -1,0 +1,60 @@
+// On-page layouts for the disk B+tree. Both node kinds are plain trivially
+// copyable structs interpreted over the 4 KiB page image.
+
+#ifndef LRUK_BTREE_BTREE_PAGE_H_
+#define LRUK_BTREE_BTREE_PAGE_H_
+
+#include <cstdint>
+
+#include "core/types.h"
+#include "storage/disk_manager.h"
+
+namespace lruk {
+
+enum class BTreeNodeType : uint32_t {
+  kInvalid = 0,
+  kLeaf = 1,
+  kInternal = 2,
+};
+
+struct BTreeNodeHeader {
+  BTreeNodeType type;
+  uint32_t count;  // Leaf: slots used. Internal: separator keys (children
+                   // in use = count + 1).
+};
+
+// Physical capacities derived from the page size.
+inline constexpr size_t kLeafSlotSize = 2 * sizeof(uint64_t);
+inline constexpr size_t kLeafHeaderSize =
+    sizeof(BTreeNodeHeader) + sizeof(PageId);
+inline constexpr size_t kLeafPhysicalCapacity =
+    (kPageSize - kLeafHeaderSize) / kLeafSlotSize;
+
+inline constexpr size_t kInternalHeaderSize =
+    sizeof(BTreeNodeHeader) + sizeof(PageId);  // Header + extra child slot.
+inline constexpr size_t kInternalPhysicalCapacity =
+    (kPageSize - kInternalHeaderSize) / (sizeof(uint64_t) + sizeof(PageId));
+
+struct BTreeLeafPage {
+  struct Slot {
+    uint64_t key;
+    uint64_t value;
+  };
+
+  BTreeNodeHeader header;
+  PageId next_leaf;  // Right sibling, kInvalidPageId at the rightmost leaf.
+  Slot slots[kLeafPhysicalCapacity];
+};
+static_assert(sizeof(BTreeLeafPage) <= kPageSize);
+
+struct BTreeInternalPage {
+  BTreeNodeHeader header;
+  uint64_t keys[kInternalPhysicalCapacity];
+  // children[i] holds keys < keys[i]; children[count] holds the rest.
+  PageId children[kInternalPhysicalCapacity + 1];
+};
+static_assert(sizeof(BTreeInternalPage) <= kPageSize);
+
+}  // namespace lruk
+
+#endif  // LRUK_BTREE_BTREE_PAGE_H_

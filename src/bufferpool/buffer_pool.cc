@@ -1,0 +1,166 @@
+#include "bufferpool/buffer_pool.h"
+
+#include <mutex>
+#include <utility>
+
+namespace lruk {
+
+BufferPool::BufferPool(size_t capacity, DiskManager* disk,
+                       std::unique_ptr<ReplacementPolicy> policy)
+    : capacity_(capacity), disk_(disk), policy_(std::move(policy)) {
+  LRUK_ASSERT(capacity_ >= 1, "buffer pool needs at least one frame");
+  LRUK_ASSERT(disk_ != nullptr, "buffer pool needs a disk manager");
+  LRUK_ASSERT(policy_ != nullptr, "buffer pool needs a replacement policy");
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (FrameId f = 0; f < capacity_; ++f) {
+    free_frames_.push_back(static_cast<FrameId>(capacity_ - 1 - f));
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Best-effort write-back of surviving dirty pages.
+  (void)FlushAll();
+}
+
+Result<FrameId> BufferPool::AcquireFrame() {
+  if (!free_frames_.empty()) {
+    FrameId f = free_frames_.back();
+    free_frames_.pop_back();
+    return f;
+  }
+  auto victim = policy_->Evict();
+  if (!victim.has_value()) {
+    return Status::ResourceExhausted(
+        "all buffer frames are pinned; cannot evict");
+  }
+  auto it = page_table_.find(*victim);
+  LRUK_ASSERT(it != page_table_.end(),
+              "policy evicted a page the pool does not hold");
+  FrameId f = it->second;
+  Page& page = frames_[f];
+  LRUK_ASSERT(page.pin_count_ == 0, "policy evicted a pinned page");
+  if (page.dirty_) {
+    LRUK_RETURN_IF_ERROR(disk_->WritePage(page.id_, page.Data()));
+    ++stats_.dirty_writebacks;
+  }
+  page_table_.erase(it);
+  page.id_ = kInvalidPageId;
+  page.dirty_ = false;
+  ++stats_.evictions;
+  return f;
+}
+
+Result<Page*> BufferPool::FetchPage(PageId p, AccessType type) {
+  std::lock_guard<std::mutex> guard(latch_);
+  auto it = page_table_.find(p);
+  if (it != page_table_.end()) {
+    Page& page = frames_[it->second];
+    ++stats_.hits;
+    policy_->RecordAccess(p, type);
+    if (page.pin_count_ == 0) policy_->SetEvictable(p, false);
+    ++page.pin_count_;
+    if (type == AccessType::kWrite) page.dirty_ = true;
+    return &page;
+  }
+
+  ++stats_.misses;
+  policy_->PrepareAdmit(p);
+  auto frame = AcquireFrame();
+  if (!frame.ok()) return frame.status();
+  Page& page = frames_[*frame];
+  Status read = disk_->ReadPage(p, page.Data());
+  if (!read.ok()) {
+    free_frames_.push_back(*frame);
+    return read;
+  }
+  page.id_ = p;
+  page.pin_count_ = 1;
+  page.dirty_ = type == AccessType::kWrite;
+  page_table_.emplace(p, *frame);
+  policy_->Admit(p, type);
+  policy_->SetEvictable(p, false);
+  return &page;
+}
+
+Result<Page*> BufferPool::NewPage() {
+  std::lock_guard<std::mutex> guard(latch_);
+  auto allocated = disk_->AllocatePage();
+  if (!allocated.ok()) return allocated.status();
+  PageId p = *allocated;
+  policy_->PrepareAdmit(p);
+  auto frame = AcquireFrame();
+  if (!frame.ok()) {
+    (void)disk_->DeallocatePage(p);
+    return frame.status();
+  }
+  Page& page = frames_[*frame];
+  page.ZeroFill();
+  page.id_ = p;
+  page.pin_count_ = 1;
+  page.dirty_ = true;  // Must reach disk at least once.
+  page_table_.emplace(p, *frame);
+  policy_->Admit(p, AccessType::kWrite);
+  policy_->SetEvictable(p, false);
+  return &page;
+}
+
+Status BufferPool::UnpinPage(PageId p, bool dirty) {
+  std::lock_guard<std::mutex> guard(latch_);
+  auto it = page_table_.find(p);
+  if (it == page_table_.end()) {
+    return Status::NotFound("unpin of non-resident page " + std::to_string(p));
+  }
+  Page& page = frames_[it->second];
+  if (page.pin_count_ <= 0) {
+    return Status::InvalidArgument("unpin of unpinned page " +
+                                   std::to_string(p));
+  }
+  page.dirty_ = page.dirty_ || dirty;
+  --page.pin_count_;
+  if (page.pin_count_ == 0) policy_->SetEvictable(p, true);
+  return Status::Ok();
+}
+
+Status BufferPool::FlushPage(PageId p) {
+  std::lock_guard<std::mutex> guard(latch_);
+  auto it = page_table_.find(p);
+  if (it == page_table_.end()) {
+    return Status::NotFound("flush of non-resident page " + std::to_string(p));
+  }
+  Page& page = frames_[it->second];
+  LRUK_RETURN_IF_ERROR(disk_->WritePage(p, page.Data()));
+  page.dirty_ = false;
+  return Status::Ok();
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> guard(latch_);
+  for (const auto& [p, frame] : page_table_) {
+    Page& page = frames_[frame];
+    if (!page.dirty_) continue;
+    LRUK_RETURN_IF_ERROR(disk_->WritePage(p, page.Data()));
+    page.dirty_ = false;
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::DeletePage(PageId p) {
+  std::lock_guard<std::mutex> guard(latch_);
+  auto it = page_table_.find(p);
+  if (it != page_table_.end()) {
+    Page& page = frames_[it->second];
+    if (page.pin_count_ > 0) {
+      return Status::InvalidArgument("delete of pinned page " +
+                                     std::to_string(p));
+    }
+    policy_->Remove(p);
+    free_frames_.push_back(it->second);
+    page.id_ = kInvalidPageId;
+    page.dirty_ = false;
+    page_table_.erase(it);
+  }
+  return disk_->DeallocatePage(p);
+}
+
+}  // namespace lruk

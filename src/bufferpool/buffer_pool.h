@@ -1,0 +1,115 @@
+// The buffer pool manager: a fixed set of frames caching disk pages, with
+// the replacement decision delegated to any ReplacementPolicy — this is
+// the substrate in which LRU-K is meant to live (the paper's prototype was
+// built inside the Huron database's buffer manager).
+//
+// Pin protocol: FetchPage/NewPage return the page pinned; callers must
+// balance every fetch with UnpinPage (or use PageGuard). Pinned pages are
+// never victims. A fetch when every frame is pinned fails with
+// RESOURCE_EXHAUSTED.
+//
+// Thread safety: all pool operations (and through them the policy and the
+// disk manager) are serialized by one internal latch — coarse-grained by
+// design, since the replacement *decision* is the subject of this library
+// and per-frame latching would obscure it. Page *contents* are accessed
+// outside the latch under the pin protocol: a pinned page cannot be
+// evicted, and Page pointers stay stable for the pool's lifetime, so
+// concurrent readers are safe; concurrent writers to the same page must
+// coordinate among themselves (as with per-page latches in a real DBMS).
+
+#ifndef LRUK_BUFFERPOOL_BUFFER_POOL_H_
+#define LRUK_BUFFERPOOL_BUFFER_POOL_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "bufferpool/page.h"
+#include "core/replacement_policy.h"
+#include "storage/disk_manager.h"
+#include "util/status.h"
+
+namespace lruk {
+
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+
+  double HitRatio() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+class BufferPool {
+ public:
+  // `disk` must outlive the pool. The pool owns the policy.
+  BufferPool(size_t capacity, DiskManager* disk,
+             std::unique_ptr<ReplacementPolicy> policy);
+  ~BufferPool();
+  LRUK_DISALLOW_COPY_AND_MOVE(BufferPool);
+
+  // Returns the page pinned, reading it from disk on a miss. `type`
+  // reaches the replacement policy (and kWrite marks the page dirty).
+  Result<Page*> FetchPage(PageId p, AccessType type = AccessType::kRead);
+
+  // Allocates a new disk page, returns it pinned, zeroed, and dirty.
+  Result<Page*> NewPage();
+
+  // Drops one pin; `dirty` accumulates into the page's dirty flag. The
+  // page becomes evictable when its pin count reaches zero.
+  Status UnpinPage(PageId p, bool dirty);
+
+  // Writes the page image to disk now (page stays resident and keeps its
+  // pins). Clears the dirty flag.
+  Status FlushPage(PageId p);
+
+  // Flushes every dirty resident page.
+  Status FlushAll();
+
+  // Removes the page from the pool and deallocates it on disk. Fails if
+  // pinned.
+  Status DeletePage(PageId p);
+
+  size_t capacity() const { return capacity_; }
+  size_t ResidentCount() const {
+    std::lock_guard<std::mutex> guard(latch_);
+    return page_table_.size();
+  }
+  bool IsResident(PageId p) const {
+    std::lock_guard<std::mutex> guard(latch_);
+    return page_table_.contains(p);
+  }
+  BufferPoolStats stats() const {
+    std::lock_guard<std::mutex> guard(latch_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> guard(latch_);
+    stats_ = BufferPoolStats{};
+  }
+  ReplacementPolicy& policy() { return *policy_; }
+  DiskManager& disk() { return *disk_; }
+
+ private:
+  // Finds a frame for a new resident page: the free list first, then a
+  // policy eviction (with dirty write-back).
+  Result<FrameId> AcquireFrame();
+
+  mutable std::mutex latch_;
+  size_t capacity_;
+  DiskManager* disk_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::vector<Page> frames_;
+  std::vector<FrameId> free_frames_;
+  std::unordered_map<PageId, FrameId> page_table_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace lruk
+
+#endif  // LRUK_BUFFERPOOL_BUFFER_POOL_H_

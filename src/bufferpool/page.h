@@ -1,0 +1,60 @@
+// A buffer frame's in-memory page image plus its control metadata.
+
+#ifndef LRUK_BUFFERPOOL_PAGE_H_
+#define LRUK_BUFFERPOOL_PAGE_H_
+
+#include <cstring>
+#include <memory>
+
+#include "core/types.h"
+#include "storage/disk_manager.h"
+#include "util/macros.h"
+
+namespace lruk {
+
+class BufferPool;
+
+// One buffer slot. Lifetime and pinning are managed by BufferPool; user
+// code receives Page* from FetchPage/NewPage and must Unpin when done
+// (or hold a PageGuard, which does it automatically).
+class Page {
+ public:
+  Page() : data_(std::make_unique<char[]>(kPageSize)) {}
+  LRUK_DISALLOW_COPY(Page);
+  Page(Page&&) = default;
+  Page& operator=(Page&&) = default;
+
+  PageId id() const { return id_; }
+  int pin_count() const { return pin_count_; }
+  bool is_dirty() const { return dirty_; }
+
+  char* Data() { return data_.get(); }
+  const char* Data() const { return data_.get(); }
+
+  // Reinterprets the page image as a struct layout. T must be trivially
+  // copyable and fit in a page.
+  template <typename T>
+  T* As() {
+    static_assert(sizeof(T) <= kPageSize, "layout exceeds the page size");
+    return reinterpret_cast<T*>(data_.get());
+  }
+  template <typename T>
+  const T* As() const {
+    static_assert(sizeof(T) <= kPageSize, "layout exceeds the page size");
+    return reinterpret_cast<const T*>(data_.get());
+  }
+
+  void ZeroFill() { std::memset(data_.get(), 0, kPageSize); }
+
+ private:
+  friend class BufferPool;
+
+  std::unique_ptr<char[]> data_;
+  PageId id_ = kInvalidPageId;
+  int pin_count_ = 0;
+  bool dirty_ = false;
+};
+
+}  // namespace lruk
+
+#endif  // LRUK_BUFFERPOOL_PAGE_H_

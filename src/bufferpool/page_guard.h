@@ -1,0 +1,64 @@
+// RAII pin management: a PageGuard unpins its page on destruction, marking
+// it dirty if it was acquired (or later upgraded) for writing.
+
+#ifndef LRUK_BUFFERPOOL_PAGE_GUARD_H_
+#define LRUK_BUFFERPOOL_PAGE_GUARD_H_
+
+#include "bufferpool/buffer_pool.h"
+#include "bufferpool/page.h"
+#include "util/status.h"
+
+namespace lruk {
+
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, Page* page, bool dirty);
+  ~PageGuard();
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+  PageGuard(PageGuard&& other) noexcept;
+  PageGuard& operator=(PageGuard&& other) noexcept;
+
+  // Fetches `p` from `pool` and wraps it. `type` kWrite pre-marks dirty.
+  static Result<PageGuard> Fetch(BufferPool& pool, PageId p,
+                                 AccessType type = AccessType::kRead);
+
+  // Allocates a new page and wraps it (already dirty).
+  static Result<PageGuard> New(BufferPool& pool);
+
+  bool valid() const { return page_ != nullptr; }
+  PageId id() const { return page_ != nullptr ? page_->id() : kInvalidPageId; }
+
+  char* Data() {
+    MarkDirty();
+    return page_->Data();
+  }
+  const char* Data() const { return page_->Data(); }
+
+  template <typename T>
+  T* AsMut() {
+    MarkDirty();
+    return page_->As<T>();
+  }
+  template <typename T>
+  const T* As() const {
+    return page_->As<T>();
+  }
+
+  // Records that the holder modified the page.
+  void MarkDirty() { dirty_ = true; }
+
+  // Unpins now (destruction becomes a no-op).
+  void Release();
+
+ private:
+  BufferPool* pool_ = nullptr;
+  Page* page_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace lruk
+
+#endif  // LRUK_BUFFERPOOL_PAGE_GUARD_H_

@@ -1,0 +1,53 @@
+#include "core/fifo.h"
+
+namespace lruk {
+
+void FifoPolicy::RecordAccess(PageId p, AccessType /*type*/) {
+  // FIFO ignores re-references; only validate the precondition.
+  LRUK_ASSERT(entries_.contains(p), "RecordAccess on a non-resident page");
+}
+
+void FifoPolicy::Admit(PageId p, AccessType /*type*/) {
+  LRUK_ASSERT(!entries_.contains(p), "Admit on an already-resident page");
+  arrival_.push_front(p);
+  entries_.emplace(p, Entry{arrival_.begin(), /*evictable=*/true});
+  ++evictable_count_;
+}
+
+std::optional<PageId> FifoPolicy::Evict() {
+  for (auto it = arrival_.rbegin(); it != arrival_.rend(); ++it) {
+    auto entry_it = entries_.find(*it);
+    if (!entry_it->second.evictable) continue;
+    PageId victim = *it;
+    arrival_.erase(std::next(it).base());
+    entries_.erase(entry_it);
+    --evictable_count_;
+    return victim;
+  }
+  return std::nullopt;
+}
+
+void FifoPolicy::Remove(PageId p) {
+  auto it = entries_.find(p);
+  LRUK_ASSERT(it != entries_.end(), "Remove on a non-resident page");
+  if (it->second.evictable) --evictable_count_;
+  arrival_.erase(it->second.pos);
+  entries_.erase(it);
+}
+
+void FifoPolicy::SetEvictable(PageId p, bool evictable) {
+  auto it = entries_.find(p);
+  LRUK_ASSERT(it != entries_.end(), "SetEvictable on a non-resident page");
+  if (it->second.evictable != evictable) {
+    it->second.evictable = evictable;
+    evictable_count_ += evictable ? 1 : -1;
+  }
+}
+
+
+void FifoPolicy::ForEachResident(
+    const std::function<void(PageId)>& visit) const {
+  for (const auto& kv : entries_) visit(kv.first);
+}
+
+}  // namespace lruk

@@ -1,0 +1,88 @@
+#include "core/history_table.h"
+
+#include <algorithm>
+
+namespace lruk {
+
+HistoryTable::HistoryTable(int k, Timestamp retained_information_period,
+                           size_t max_nonresident_blocks)
+    : k_(k),
+      rip_(retained_information_period),
+      max_nonresident_(max_nonresident_blocks) {
+  LRUK_ASSERT(k >= 1, "LRU-K requires K >= 1");
+}
+
+HistoryBlock* HistoryTable::Find(PageId p) {
+  auto it = blocks_.find(p);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+const HistoryBlock* HistoryTable::Find(PageId p) const {
+  auto it = blocks_.find(p);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+bool HistoryTable::Expired(const HistoryBlock& block, Timestamp now) const {
+  if (rip_ == kInfinitePeriod || block.resident) return false;
+  return now > block.last && (now - block.last) > rip_;
+}
+
+HistoryBlock& HistoryTable::GetOrCreate(PageId p, Timestamp now,
+                                        bool* had_history) {
+  auto [it, inserted] = blocks_.try_emplace(p, k_);
+  if (inserted) {
+    *had_history = false;
+    return it->second;
+  }
+  if (!it->second.resident) {
+    // The page is coming back into the buffer: it stops being a
+    // history-only block (the caller marks it resident).
+    nonresident_.erase({it->second.last, p});
+  }
+  if (Expired(it->second, now)) {
+    // The demon would have purged this block already; treat it as absent.
+    it->second = HistoryBlock(k_);
+    *had_history = false;
+  } else {
+    *had_history = true;
+  }
+  return it->second;
+}
+
+void HistoryTable::OnEvicted(PageId p, HistoryBlock& block) {
+  LRUK_ASSERT(block.resident, "OnEvicted on a non-resident block");
+  block.resident = false;
+  nonresident_.insert({block.last, p});
+  // Enforce the history budget: drop the longest-idle history-only block
+  // (possibly the one just evicted, if everything else is fresher).
+  while (max_nonresident_ != 0 && nonresident_.size() > max_nonresident_) {
+    auto oldest = nonresident_.begin();
+    PageId victim = oldest->second;
+    nonresident_.erase(oldest);
+    blocks_.erase(victim);
+  }
+}
+
+void HistoryTable::Erase(PageId p) {
+  auto it = blocks_.find(p);
+  if (it == blocks_.end()) return;
+  if (!it->second.resident) nonresident_.erase({it->second.last, p});
+  blocks_.erase(it);
+}
+
+size_t HistoryTable::PurgeExpired(Timestamp now) {
+  if (rip_ == kInfinitePeriod) return 0;
+  size_t purged = 0;
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (Expired(it->second, now)) {
+      nonresident_.erase({it->second.last, it->first});
+      it = blocks_.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  return purged;
+}
+
+}  // namespace lruk

@@ -1,0 +1,136 @@
+// Page reference history for LRU-K (Section 2.1.2 / 2.1.3 of the paper).
+//
+// Each tracked page has a history control block:
+//   hist[0..K-1] — HIST(p,1)..HIST(p,K): the K most recent *uncorrelated*
+//                  reference times, already adjusted for correlated-period
+//                  collapse; 0 means "no such reference known".
+//   last         — LAST(p): the raw time of the most recent reference,
+//                  correlated or not.
+//
+// Blocks outlive buffer residency (the Page Reference Retained Information
+// Problem): a page's block survives eviction and is purged only once the
+// page has gone unreferenced for longer than the Retained Information
+// Period. Purging is the job the paper assigns to "an asynchronous demon
+// process"; here it is PurgeExpired(), invoked lazily by LruKPolicy on an
+// amortized schedule (and available to callers directly).
+
+#ifndef LRUK_CORE_HISTORY_TABLE_H_
+#define LRUK_CORE_HISTORY_TABLE_H_
+
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/types.h"
+#include "util/macros.h"
+
+namespace lruk {
+
+// "Infinite" period: retained information is never purged. This matches the
+// paper's simulation setup, where history is kept for the whole run.
+inline constexpr Timestamp kInfinitePeriod =
+    std::numeric_limits<Timestamp>::max();
+
+struct HistoryBlock {
+  // hist[i] is HIST(p, i+1); hist[k-1] is the K-th most recent reference.
+  // A value of 0 means the page has fewer than i+1 known uncorrelated
+  // references (backward distance infinity for that depth).
+  std::vector<Timestamp> hist;
+  // LAST(p): raw time of the most recent reference.
+  Timestamp last = 0;
+  // Process that issued the most recent reference (per-process
+  // correlation mode only).
+  uint32_t last_process = 0;
+  // Whether the page currently occupies a buffer slot.
+  bool resident = false;
+  // Whether the page may be chosen as a victim (buffer-pool pinning).
+  bool evictable = true;
+
+  explicit HistoryBlock(int k) : hist(static_cast<size_t>(k), 0) {}
+
+  // HIST(p, K): the key the LRU-K victim search minimizes. 0 encodes an
+  // infinite Backward K-distance.
+  Timestamp HistK() const { return hist.back(); }
+  // HIST(p, 1): time of the most recent uncorrelated reference.
+  Timestamp Hist1() const { return hist.front(); }
+};
+
+class HistoryTable {
+ public:
+  // `k` is the LRU-K depth (>= 1); `retained_information_period` in logical
+  // ticks, kInfinitePeriod to disable purging; `max_nonresident_blocks`
+  // bounds the history-only blocks (0 = unbounded) — when the bound is
+  // exceeded, the non-resident block with the oldest LAST is dropped
+  // (Section 5's open question about history space, made a knob).
+  HistoryTable(int k, Timestamp retained_information_period,
+               size_t max_nonresident_blocks = 0);
+
+  int k() const { return k_; }
+  size_t size() const { return blocks_.size(); }
+  Timestamp retained_information_period() const { return rip_; }
+
+  // Approximate bytes held by history control blocks (block struct + HIST
+  // array + hash-map node overhead) — the memory the Retained Information
+  // Period controls, the paper's open question in Section 5.
+  size_t ApproximateMemoryBytes() const {
+    size_t per_block = sizeof(HistoryBlock) +
+                       static_cast<size_t>(k_) * sizeof(Timestamp) +
+                       kMapNodeOverhead;
+    return blocks_.size() * per_block;
+  }
+
+  // Returns the block for p, or nullptr if none is retained.
+  HistoryBlock* Find(PageId p);
+  const HistoryBlock* Find(PageId p) const;
+
+  // Returns the block for p, creating a fresh one if absent. If a block
+  // exists but its retained information has expired (now - last > RIP and
+  // the page is not resident), the stale history is discarded first and the
+  // returned block is fresh. `*had_history` reports whether prior history
+  // survived.
+  HistoryBlock& GetOrCreate(PageId p, Timestamp now, bool* had_history);
+
+  // Transitions p's block to non-resident (the page left the buffer but
+  // its history is retained), enforcing the non-resident block bound.
+  void OnEvicted(PageId p, HistoryBlock& block);
+
+  // Drops the block for p entirely (page deleted from the database).
+  void Erase(PageId p);
+
+  // Number of history-only (non-resident) blocks currently retained.
+  size_t NonResidentCount() const { return nonresident_.size(); }
+
+  // The retained-information demon: drops every non-resident block with
+  // now - last > RIP. Returns the number of blocks purged. O(table size).
+  size_t PurgeExpired(Timestamp now);
+
+  // Whether the block's retained information has expired at `now`.
+  bool Expired(const HistoryBlock& block, Timestamp now) const;
+
+  // Iteration support (victim scans, tests).
+  auto begin() { return blocks_.begin(); }
+  auto end() { return blocks_.end(); }
+  auto begin() const { return blocks_.begin(); }
+  auto end() const { return blocks_.end(); }
+
+ private:
+  // Estimated unordered_map node overhead (hash bucket pointer + node
+  // header + key), platform-typical.
+  static constexpr size_t kMapNodeOverhead = 4 * sizeof(void*);
+
+  int k_;
+  Timestamp rip_;
+  size_t max_nonresident_;
+  std::unordered_map<PageId, HistoryBlock> blocks_;
+  // Non-resident blocks ordered by LAST (oldest first). LAST of a
+  // non-resident block never changes (a reference makes the page resident
+  // again), so entries are stable until removal.
+  std::set<std::pair<Timestamp, PageId>> nonresident_;
+};
+
+}  // namespace lruk
+
+#endif  // LRUK_CORE_HISTORY_TABLE_H_

@@ -1,0 +1,210 @@
+#include "core/lru_k.h"
+
+#include <string>
+
+namespace lruk {
+
+LruKPolicy::LruKPolicy(LruKOptions options)
+    : options_(options),
+      name_("LRU-" + std::to_string(options.k)),
+      table_(options.k, options.retained_information_period,
+             options.max_nonresident_history) {
+  LRUK_ASSERT(options_.k >= 1, "LRU-K requires K >= 1");
+}
+
+bool LruKPolicy::IsResident(PageId p) const {
+  const HistoryBlock* block = table_.Find(p);
+  return block != nullptr && block->resident;
+}
+
+void LruKPolicy::ForEachResident(
+    const std::function<void(PageId)>& visit) const {
+  for (const auto& [page, block] : table_) {
+    if (block.resident) visit(page);
+  }
+}
+
+Timestamp LruKPolicy::Tick() {
+  if (options_.clock != nullptr) {
+    // Wall-clock mode: take the clock's reading, clamped monotone (two
+    // references in the same clock quantum share a timestamp, which the
+    // victim ordering disambiguates by page id).
+    Timestamp now = options_.clock->Now();
+    time_ = now > time_ ? now : time_;
+  } else {
+    ++time_;
+  }
+  if (options_.retained_information_period != kInfinitePeriod &&
+      options_.purge_interval != 0 &&
+      time_ - last_purge_time_ >= options_.purge_interval) {
+    table_.PurgeExpired(time_);
+    last_purge_time_ = time_;
+  }
+  return time_;
+}
+
+void LruKPolicy::RecordAccess(PageId p, AccessType /*type*/) {
+  Timestamp t = Tick();
+  HistoryBlock* block = table_.Find(p);
+  LRUK_ASSERT(block != nullptr && block->resident,
+              "RecordAccess on a non-resident page");
+
+  bool process_differs = options_.per_process_correlation &&
+                         block->last_process != current_process_;
+  if (process_differs ||
+      t - block->last > options_.correlated_reference_period) {
+    // A new, uncorrelated reference (Figure 2.1, then-branch): close the
+    // correlated period and credit only its start-to-start interval.
+    Timestamp correlation_period = block->last - block->hist.front();
+    if (block->evictable) queue_.erase(KeyFor(p, *block));
+    for (size_t i = block->hist.size() - 1; i >= 1; --i) {
+      // Simultaneous shift; unknown entries (0) stay unknown.
+      block->hist[i] =
+          block->hist[i - 1] == 0 ? 0 : block->hist[i - 1] + correlation_period;
+    }
+    block->hist.front() = t;
+    block->last = t;
+    if (block->evictable) queue_.insert(KeyFor(p, *block));
+  } else {
+    // A correlated reference: only LAST(p) moves; the history (and thus the
+    // page's position in the victim order) is unchanged.
+    block->last = t;
+  }
+  block->last_process = current_process_;
+}
+
+void LruKPolicy::Admit(PageId p, AccessType /*type*/) {
+  Timestamp t = Tick();
+  bool had_history = false;
+  HistoryBlock& block = table_.GetOrCreate(p, t, &had_history);
+  LRUK_ASSERT(!block.resident, "Admit on an already-resident page");
+
+  if (had_history) {
+    // Figure 2.1, miss path with existing HIST(p): shift the retained
+    // references down one slot to make room for this one.
+    for (size_t i = block.hist.size() - 1; i >= 1; --i) {
+      block.hist[i] = block.hist[i - 1];
+    }
+  }
+  // Fresh blocks already have every entry at 0 ("no earlier reference").
+  block.hist.front() = t;
+  block.last = t;
+  block.last_process = current_process_;
+  block.resident = true;
+  block.evictable = true;
+  queue_.insert(KeyFor(p, block));
+  ++resident_count_;
+  ++evictable_count_;
+}
+
+bool LruKPolicy::EligibleAt(const HistoryBlock& block, Timestamp t) const {
+  return t - block.last > options_.correlated_reference_period;
+}
+
+std::optional<PageId> LruKPolicy::PickVictimIndexed(Timestamp t) {
+  // Keys ascend by (HIST(p,K), HIST(p,1)), so the first eligible entry is
+  // the page with maximum Backward K-distance; infinite-distance pages
+  // (HIST(p,K) == 0) come first, ordered by subsidiary LRU.
+  for (const VictimKey& key : queue_) {
+    const HistoryBlock* block = table_.Find(key.page);
+    if (EligibleAt(*block, t)) return key.page;
+  }
+  if (!queue_.empty()) {
+    // Everyone is inside a correlated period; a real buffer manager still
+    // has to yield a slot (see header). Take the best key regardless.
+    ++fallback_evictions_;
+    return queue_.begin()->page;
+  }
+  return std::nullopt;
+}
+
+std::optional<PageId> LruKPolicy::PickVictimLinear(Timestamp t) {
+  // Figure 2.1's "for all pages q in the buffer" loop, extended with the
+  // subsidiary-LRU tie-break on HIST(q,1) and the pinning filter.
+  std::optional<VictimKey> best;
+  std::optional<VictimKey> best_ineligible;
+  for (const auto& [page, block] : table_) {
+    if (!block.resident || !block.evictable) continue;
+    VictimKey key = KeyFor(page, block);
+    if (EligibleAt(block, t)) {
+      if (!best || key < *best) best = key;
+    } else {
+      if (!best_ineligible || key < *best_ineligible) best_ineligible = key;
+    }
+  }
+  if (best) return best->page;
+  if (best_ineligible) {
+    ++fallback_evictions_;
+    return best_ineligible->page;
+  }
+  return std::nullopt;
+}
+
+std::optional<PageId> LruKPolicy::Evict() {
+  if (evictable_count_ == 0) return std::nullopt;
+  // The eviction happens while servicing the *next* reference (Figure 2.1
+  // runs victim selection at the faulting reference's time t); our caller
+  // invokes Evict() just before Admit() ticks the clock, so eligibility is
+  // tested against the prospective time.
+  Timestamp t;
+  if (options_.clock != nullptr) {
+    Timestamp now = options_.clock->Now();
+    t = now > time_ ? now : time_;
+  } else {
+    t = time_ + 1;
+  }
+  std::optional<PageId> victim = options_.use_linear_scan
+                                     ? PickVictimLinear(t)
+                                     : PickVictimIndexed(t);
+  if (!victim) return std::nullopt;
+  HistoryBlock* block = table_.Find(*victim);
+  queue_.erase(KeyFor(*victim, *block));
+  // History is retained past residence — the whole point of Section 2.1.2
+  // — up to the configured non-resident block budget.
+  table_.OnEvicted(*victim, *block);
+  --resident_count_;
+  --evictable_count_;
+  return victim;
+}
+
+void LruKPolicy::Remove(PageId p) {
+  HistoryBlock* block = table_.Find(p);
+  LRUK_ASSERT(block != nullptr && block->resident,
+              "Remove on a non-resident page");
+  if (block->evictable) {
+    queue_.erase(KeyFor(p, *block));
+    --evictable_count_;
+  }
+  --resident_count_;
+  // Remove() means the page object was destroyed (not merely evicted), so
+  // its history dies with it.
+  table_.Erase(p);
+}
+
+void LruKPolicy::SetEvictable(PageId p, bool evictable) {
+  HistoryBlock* block = table_.Find(p);
+  LRUK_ASSERT(block != nullptr && block->resident,
+              "SetEvictable on a non-resident page");
+  if (block->evictable == evictable) return;
+  if (evictable) {
+    queue_.insert(KeyFor(p, *block));
+    ++evictable_count_;
+  } else {
+    queue_.erase(KeyFor(p, *block));
+    --evictable_count_;
+  }
+  block->evictable = evictable;
+}
+
+std::optional<Timestamp> LruKPolicy::BackwardKDistance(PageId p) const {
+  const HistoryBlock* block = table_.Find(p);
+  if (block == nullptr || table_.Expired(*block, time_)) return std::nullopt;
+  if (block->HistK() == 0) return std::nullopt;  // Fewer than K references.
+  return time_ - block->HistK();
+}
+
+const HistoryBlock* LruKPolicy::DebugBlock(PageId p) const {
+  return table_.Find(p);
+}
+
+}  // namespace lruk

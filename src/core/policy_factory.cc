@@ -1,0 +1,126 @@
+#include "core/policy_factory.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/a0.h"
+#include "core/arc.h"
+#include "core/belady.h"
+#include "core/clock_policy.h"
+#include "core/fifo.h"
+#include "core/lru.h"
+#include "core/mru.h"
+#include "core/random_policy.h"
+
+namespace lruk {
+
+Result<std::unique_ptr<ReplacementPolicy>> MakePolicy(
+    const PolicyConfig& config, const PolicyContext& context) {
+  switch (config.kind) {
+    case PolicyKind::kLru:
+      return std::unique_ptr<ReplacementPolicy>(new LruPolicy());
+    case PolicyKind::kLruK:
+      return std::unique_ptr<ReplacementPolicy>(
+          new LruKPolicy(config.lru_k));
+    case PolicyKind::kLfu:
+      return std::unique_ptr<ReplacementPolicy>(new LfuPolicy(config.lfu));
+    case PolicyKind::kFifo:
+      return std::unique_ptr<ReplacementPolicy>(new FifoPolicy());
+    case PolicyKind::kClock:
+      return std::unique_ptr<ReplacementPolicy>(new ClockPolicy());
+    case PolicyKind::kGClock:
+      return std::unique_ptr<ReplacementPolicy>(
+          new GClockPolicy(config.gclock));
+    case PolicyKind::kLrd:
+      return std::unique_ptr<ReplacementPolicy>(new LrdPolicy(config.lrd));
+    case PolicyKind::kMru:
+      return std::unique_ptr<ReplacementPolicy>(new MruPolicy());
+    case PolicyKind::kRandom:
+      return std::unique_ptr<ReplacementPolicy>(
+          new RandomPolicy(config.random_seed));
+    case PolicyKind::kTwoQ: {
+      TwoQOptions options = config.two_q;
+      if (options.capacity == 0) options.capacity = context.capacity;
+      if (options.capacity == 0) {
+        return Status::InvalidArgument(
+            "2Q needs a capacity (set PolicyContext::capacity)");
+      }
+      return std::unique_ptr<ReplacementPolicy>(new TwoQPolicy(options));
+    }
+    case PolicyKind::kArc: {
+      size_t capacity =
+          config.arc_capacity != 0 ? config.arc_capacity : context.capacity;
+      if (capacity == 0) {
+        return Status::InvalidArgument(
+            "ARC needs a capacity (set PolicyContext::capacity)");
+      }
+      return std::unique_ptr<ReplacementPolicy>(new ArcPolicy(capacity));
+    }
+    case PolicyKind::kDomainSeparation:
+      if (config.domain_separation.classifier == nullptr ||
+          config.domain_separation.domain_capacities.empty()) {
+        return Status::InvalidArgument(
+            "domain separation needs a classifier and domain capacities");
+      }
+      return std::unique_ptr<ReplacementPolicy>(
+          new DomainSeparationPolicy(config.domain_separation));
+    case PolicyKind::kA0:
+      if (context.probabilities.empty()) {
+        return Status::InvalidArgument(
+            "A0 needs the true probability vector "
+            "(set PolicyContext::probabilities)");
+      }
+      return std::unique_ptr<ReplacementPolicy>(
+          new A0Policy(context.probabilities));
+    case PolicyKind::kBelady:
+      if (context.trace.empty()) {
+        return Status::InvalidArgument(
+            "Belady needs the future trace (set PolicyContext::trace)");
+      }
+      return std::unique_ptr<ReplacementPolicy>(
+          new BeladyPolicy(context.trace));
+  }
+  return Status::Internal("unhandled policy kind");
+}
+
+std::optional<PolicyConfig> ParsePolicyName(const std::string& name) {
+  std::string upper(name.size(), '\0');
+  std::transform(name.begin(), name.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+
+  if (upper == "LRU" || upper == "LRU-1") return PolicyConfig::Lru();
+  if (upper.rfind("LRU-", 0) == 0) {
+    int k = 0;
+    for (size_t i = 4; i < upper.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(upper[i]))) {
+        return std::nullopt;
+      }
+      k = k * 10 + (upper[i] - '0');
+    }
+    if (k < 1 || k > 64) return std::nullopt;
+    return PolicyConfig::LruK(k);
+  }
+  if (upper == "LFU") return PolicyConfig::Lfu();
+  if (upper == "FIFO") return PolicyConfig::Of(PolicyKind::kFifo);
+  if (upper == "CLOCK") return PolicyConfig::Of(PolicyKind::kClock);
+  if (upper == "GCLOCK") return PolicyConfig::Of(PolicyKind::kGClock);
+  if (upper == "LRD" || upper == "LRD-V1") {
+    return PolicyConfig::Of(PolicyKind::kLrd);
+  }
+  if (upper == "LRD-V2") {
+    PolicyConfig c = PolicyConfig::Of(PolicyKind::kLrd);
+    c.lrd.aging_interval = 10000;
+    return c;
+  }
+  if (upper == "MRU") return PolicyConfig::Of(PolicyKind::kMru);
+  if (upper == "RANDOM") return PolicyConfig::Of(PolicyKind::kRandom);
+  if (upper == "2Q" || upper == "TWOQ") return PolicyConfig::TwoQ();
+  if (upper == "ARC") return PolicyConfig::Arc();
+  if (upper == "A0") return PolicyConfig::A0();
+  if (upper == "B0" || upper == "BELADY" || upper == "OPT") {
+    return PolicyConfig::Belady();
+  }
+  return std::nullopt;
+}
+
+}  // namespace lruk

@@ -1,0 +1,104 @@
+// Uniform construction of replacement policies for sweeps and benches.
+//
+// Some policies need context beyond their own knobs: 2Q sizes its queues
+// from the buffer capacity, A0 needs the workload's true probability
+// vector, and Belady needs the full future trace. PolicyContext carries
+// all three; factories ignore what they don't need.
+
+#ifndef LRUK_CORE_POLICY_FACTORY_H_
+#define LRUK_CORE_POLICY_FACTORY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/domain_separation.h"
+#include "core/gclock.h"
+#include "core/lfu.h"
+#include "core/lrd.h"
+#include "core/lru_k.h"
+#include "core/replacement_policy.h"
+#include "core/two_q.h"
+#include "util/status.h"
+
+namespace lruk {
+
+enum class PolicyKind {
+  kLru,
+  kLruK,
+  kLfu,
+  kFifo,
+  kClock,
+  kGClock,
+  kLrd,
+  kMru,
+  kRandom,
+  kTwoQ,
+  kArc,
+  kDomainSeparation,
+  kA0,
+  kBelady,
+};
+
+// Everything needed to build any policy in the catalog.
+struct PolicyConfig {
+  PolicyKind kind = PolicyKind::kLru;
+  // Only consulted by the matching policy kind:
+  LruKOptions lru_k;       // kLruK
+  LfuOptions lfu;          // kLfu
+  GClockOptions gclock;    // kGClock
+  LrdOptions lrd;          // kLrd
+  TwoQOptions two_q;       // kTwoQ (capacity filled from context if 0)
+  // kArc: capacity; 0 = take PolicyContext::capacity.
+  size_t arc_capacity = 0;
+  // kDomainSeparation: classifier + per-domain frame counts.
+  DomainSeparationOptions domain_separation;
+  uint64_t random_seed = 0xC0FFEE;  // kRandom
+
+  // Convenience constructors for the common cases.
+  static PolicyConfig Of(PolicyKind kind) {
+    PolicyConfig c;
+    c.kind = kind;
+    return c;
+  }
+  static PolicyConfig Lru() { return Of(PolicyKind::kLru); }
+  static PolicyConfig LruK(int k, Timestamp crp = 0,
+                           Timestamp rip = kInfinitePeriod) {
+    PolicyConfig c = Of(PolicyKind::kLruK);
+    c.lru_k.k = k;
+    c.lru_k.correlated_reference_period = crp;
+    c.lru_k.retained_information_period = rip;
+    return c;
+  }
+  static PolicyConfig Lfu() { return Of(PolicyKind::kLfu); }
+  static PolicyConfig A0() { return Of(PolicyKind::kA0); }
+  static PolicyConfig Belady() { return Of(PolicyKind::kBelady); }
+  static PolicyConfig TwoQ() { return Of(PolicyKind::kTwoQ); }
+  static PolicyConfig Arc() { return Of(PolicyKind::kArc); }
+};
+
+// Per-experiment context the factory may consult.
+struct PolicyContext {
+  // Buffer capacity in pages (2Q queue sizing).
+  size_t capacity = 0;
+  // True per-page reference probabilities (A0). Indexed by PageId.
+  std::vector<double> probabilities;
+  // The exact upcoming reference string (Belady).
+  std::vector<PageId> trace;
+};
+
+// Builds the configured policy. Returns an error status when a required
+// context field is missing (e.g. A0 without probabilities).
+Result<std::unique_ptr<ReplacementPolicy>> MakePolicy(
+    const PolicyConfig& config, const PolicyContext& context);
+
+// Parses names like "LRU", "LRU-2", "LRU-10", "LFU", "FIFO", "CLOCK",
+// "GCLOCK", "LRD", "MRU", "RANDOM", "2Q", "ARC", "A0", "B0"/"BELADY"
+// (case insensitive). Returns nullopt for unknown names (including
+// DOMAIN-SEP, which needs a programmatic classifier).
+std::optional<PolicyConfig> ParsePolicyName(const std::string& name);
+
+}  // namespace lruk
+
+#endif  // LRUK_CORE_POLICY_FACTORY_H_

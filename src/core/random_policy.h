@@ -1,0 +1,50 @@
+// RANDOM: evicts a uniformly random evictable page. The memoryless control
+// baseline — any policy worth its bookkeeping must beat it on skewed
+// workloads.
+
+#ifndef LRUK_CORE_RANDOM_POLICY_H_
+#define LRUK_CORE_RANDOM_POLICY_H_
+
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/replacement_policy.h"
+#include "util/random.h"
+
+namespace lruk {
+
+// O(1) per operation via the swap-with-last vector trick.
+class RandomPolicy final : public ReplacementPolicy {
+ public:
+  explicit RandomPolicy(uint64_t seed = 0xC0FFEE);
+
+  void RecordAccess(PageId p, AccessType type) override;
+  void Admit(PageId p, AccessType type) override;
+  std::optional<PageId> Evict() override;
+  void Remove(PageId p) override;
+  void SetEvictable(PageId p, bool evictable) override;
+  size_t ResidentCount() const override { return entries_.size(); }
+  size_t EvictableCount() const override { return evictable_.size(); }
+  bool IsResident(PageId p) const override { return entries_.contains(p); }
+  void ForEachResident(
+      const std::function<void(PageId)>& visit) const override;
+  std::string_view Name() const override { return "RANDOM"; }
+
+ private:
+  struct Entry {
+    // Index into evictable_, or SIZE_MAX when pinned.
+    size_t slot = SIZE_MAX;
+  };
+
+  void RemoveFromEvictable(Entry& entry);
+
+  RandomEngine rng_;
+  std::vector<PageId> evictable_;
+  std::unordered_map<PageId, Entry> entries_;
+};
+
+}  // namespace lruk
+
+#endif  // LRUK_CORE_RANDOM_POLICY_H_

@@ -1,0 +1,107 @@
+#include "core/two_q.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lruk {
+
+TwoQPolicy::TwoQPolicy(TwoQOptions options) : options_(options) {
+  LRUK_ASSERT(options_.capacity > 0, "2Q requires a positive capacity");
+  kin_ = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(options_.kin_fraction *
+                                          static_cast<double>(options_.capacity))));
+  kout_ = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(options_.kout_fraction *
+                                          static_cast<double>(options_.capacity))));
+}
+
+void TwoQPolicy::RecordAccess(PageId p, AccessType /*type*/) {
+  auto it = entries_.find(p);
+  LRUK_ASSERT(it != entries_.end(), "RecordAccess on a non-resident page");
+  if (it->second.queue == Queue::kAm) {
+    am_.splice(am_.begin(), am_, it->second.pos);
+  }
+  // A hit in A1in deliberately does not move the page (2Q's correlated-
+  // reference defense: a quick second touch is not evidence of hotness).
+}
+
+void TwoQPolicy::Admit(PageId p, AccessType /*type*/) {
+  LRUK_ASSERT(!entries_.contains(p), "Admit on an already-resident page");
+  auto ghost = a1out_index_.find(p);
+  if (ghost != a1out_index_.end()) {
+    // Second (uncorrelated) reference within the ghost window: hot page.
+    a1out_.erase(ghost->second);
+    a1out_index_.erase(ghost);
+    am_.push_front(p);
+    entries_.emplace(p, Entry{Queue::kAm, am_.begin(), /*evictable=*/true});
+  } else {
+    a1in_.push_front(p);
+    entries_.emplace(p,
+                     Entry{Queue::kA1in, a1in_.begin(), /*evictable=*/true});
+  }
+  ++evictable_count_;
+}
+
+std::optional<PageId> TwoQPolicy::EvictFromTail(std::list<PageId>& list) {
+  for (auto it = list.rbegin(); it != list.rend(); ++it) {
+    auto entry_it = entries_.find(*it);
+    if (!entry_it->second.evictable) continue;
+    PageId victim = *it;
+    list.erase(std::next(it).base());
+    entries_.erase(entry_it);
+    --evictable_count_;
+    return victim;
+  }
+  return std::nullopt;
+}
+
+void TwoQPolicy::PushGhost(PageId p) {
+  a1out_.push_front(p);
+  a1out_index_.emplace(p, a1out_.begin());
+  while (a1out_.size() > kout_) {
+    a1out_index_.erase(a1out_.back());
+    a1out_.pop_back();
+  }
+}
+
+std::optional<PageId> TwoQPolicy::Evict() {
+  if (a1in_.size() > kin_ || am_.empty()) {
+    if (auto victim = EvictFromTail(a1in_)) {
+      PushGhost(*victim);
+      return victim;
+    }
+    return EvictFromTail(am_);
+  }
+  if (auto victim = EvictFromTail(am_)) return victim;
+  // All of Am pinned; fall back to A1in.
+  if (auto victim = EvictFromTail(a1in_)) {
+    PushGhost(*victim);
+    return victim;
+  }
+  return std::nullopt;
+}
+
+void TwoQPolicy::Remove(PageId p) {
+  auto it = entries_.find(p);
+  LRUK_ASSERT(it != entries_.end(), "Remove on a non-resident page");
+  if (it->second.evictable) --evictable_count_;
+  (it->second.queue == Queue::kA1in ? a1in_ : am_).erase(it->second.pos);
+  entries_.erase(it);
+}
+
+void TwoQPolicy::SetEvictable(PageId p, bool evictable) {
+  auto it = entries_.find(p);
+  LRUK_ASSERT(it != entries_.end(), "SetEvictable on a non-resident page");
+  if (it->second.evictable != evictable) {
+    it->second.evictable = evictable;
+    evictable_count_ += evictable ? 1 : -1;
+  }
+}
+
+
+void TwoQPolicy::ForEachResident(
+    const std::function<void(PageId)>& visit) const {
+  for (const auto& kv : entries_) visit(kv.first);
+}
+
+}  // namespace lruk

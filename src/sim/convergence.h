@@ -1,0 +1,58 @@
+// Transient-response measurement: how quickly a policy recovers after the
+// workload's hot set shifts. The paper's Section 4.1 claim that "LRU-3 is
+// less responsive than LRU-2 in the sense that it needs more references to
+// adapt itself to dynamic changes of reference frequencies" is about this
+// transient, which steady-state hit ratios average away.
+//
+// MeasureConvergence warms a policy on the generator until a known shift
+// boundary, records the steady-state windowed hit ratio, lets the shift
+// happen, and then tracks windowed hit ratios until they recover to a
+// fraction of steady state.
+
+#ifndef LRUK_SIM_CONVERGENCE_H_
+#define LRUK_SIM_CONVERGENCE_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/policy_factory.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace lruk {
+
+struct ConvergenceOptions {
+  size_t capacity = 100;
+  // References before the shift (the generator must be configured to shift
+  // exactly at this boundary, e.g. MovingHotspotOptions::epoch_length ==
+  // pre_shift_refs).
+  uint64_t pre_shift_refs = 50000;
+  // Observation horizon after the shift.
+  uint64_t post_shift_refs = 50000;
+  // Window (in references) for windowed hit ratios.
+  uint64_t window = 1000;
+  // Recovered when a window reaches this fraction of steady state.
+  double recovery_fraction = 0.9;
+};
+
+struct ConvergenceResult {
+  std::string policy_name;
+  // Mean windowed hit ratio over the last quarter of the pre-shift phase.
+  double steady_state = 0.0;
+  // Windowed hit ratios after the shift, one per window.
+  std::vector<double> post_shift_windows;
+  // References (rounded up to a window) from the shift until recovery;
+  // nullopt if the policy never recovered within the horizon.
+  std::optional<uint64_t> recovery_refs;
+};
+
+// Builds the policy from `config` (resolving oracle context), resets the
+// generator, and measures. The generator must shift its pattern exactly at
+// pre_shift_refs.
+Result<ConvergenceResult> MeasureConvergence(const PolicyConfig& config,
+                                             ReferenceStringGenerator& gen,
+                                             const ConvergenceOptions& options);
+
+}  // namespace lruk
+
+#endif  // LRUK_SIM_CONVERGENCE_H_

@@ -1,0 +1,38 @@
+#include "sim/cost_model.h"
+
+#include "util/macros.h"
+
+namespace lruk {
+
+double ExpectedCost(const std::vector<double>& probabilities,
+                    const std::unordered_set<PageId>& resident) {
+  double covered = 0.0;
+  for (PageId p : resident) {
+    if (p < probabilities.size()) covered += probabilities[p];
+  }
+  double cost = 1.0 - covered;
+  return cost < 0.0 ? 0.0 : cost;  // Tolerate rounding on full coverage.
+}
+
+double FiveMinuteRuleBreakEvenSeconds(const FiveMinuteRuleParams& params) {
+  LRUK_ASSERT(params.disk_accesses_per_second > 0.0 &&
+                  params.memory_price_per_mb > 0.0 && params.page_size_kb > 0.0,
+              "cost parameters must be positive");
+  // Cost of one access/second of disk throughput:
+  double dollars_per_access_per_second =
+      params.disk_arm_price / params.disk_accesses_per_second;
+  // Cost of holding one page in memory:
+  double dollars_per_page =
+      params.memory_price_per_mb * (params.page_size_kb / 1024.0);
+  // Break even when (accesses/second saved) * $/aps == $/page, i.e. at
+  // interarrival = $/aps / $/page seconds.
+  return dollars_per_access_per_second / dollars_per_page;
+}
+
+double SuggestedRetainedInformationSeconds(
+    int k, const FiveMinuteRuleParams& params) {
+  LRUK_ASSERT(k >= 1, "K must be at least 1");
+  return static_cast<double>(k) * FiveMinuteRuleBreakEvenSeconds(params);
+}
+
+}  // namespace lruk

@@ -1,0 +1,113 @@
+#include "sim/equi_effective.h"
+
+#include <algorithm>
+
+namespace lruk {
+
+namespace {
+
+// Measured hit ratio of `config` at integer capacity `capacity`.
+Result<double> HitRatioAt(const PolicyConfig& config,
+                          ReferenceStringGenerator& generator,
+                          const SimOptions& sim, size_t capacity) {
+  SimOptions probe = sim;
+  probe.capacity = capacity;
+  probe.track_classes = false;
+  auto result = SimulatePolicy(config, generator, probe);
+  if (!result.ok()) return result.status();
+  return result->HitRatio();
+}
+
+}  // namespace
+
+Result<double> FindCapacityForHitRatio(const PolicyConfig& config,
+                                       ReferenceStringGenerator& generator,
+                                       const SimOptions& sim,
+                                       double target_hit_ratio,
+                                       const EquiEffectiveOptions& options) {
+  size_t lo = std::max<size_t>(1, options.min_capacity);
+
+  auto at_lo = HitRatioAt(config, generator, sim, lo);
+  if (!at_lo.ok()) return at_lo.status();
+  if (*at_lo >= target_hit_ratio) return static_cast<double>(lo);
+
+  // Exponential bracket: double until the target is reached.
+  size_t hi = lo;
+  double hi_ratio = *at_lo;
+  while (hi_ratio < target_hit_ratio) {
+    if (hi >= options.max_capacity) {
+      return static_cast<double>(options.max_capacity);
+    }
+    lo = hi;
+    hi = std::min(options.max_capacity, hi * 2);
+    auto r = HitRatioAt(config, generator, sim, hi);
+    if (!r.ok()) return r.status();
+    hi_ratio = *r;
+  }
+
+  // Bisection: maintain ratio(lo) < target <= ratio(hi).
+  double lo_ratio = 0.0;
+  {
+    auto r = HitRatioAt(config, generator, sim, lo);
+    if (!r.ok()) return r.status();
+    lo_ratio = *r;
+  }
+  while (hi - lo > 1) {
+    size_t mid = lo + (hi - lo) / 2;
+    auto r = HitRatioAt(config, generator, sim, mid);
+    if (!r.ok()) return r.status();
+    if (*r >= target_hit_ratio) {
+      hi = mid;
+      hi_ratio = *r;
+    } else {
+      lo = mid;
+      lo_ratio = *r;
+    }
+  }
+
+  // Linear interpolation between the bracketing capacities.
+  if (hi_ratio <= lo_ratio) return static_cast<double>(hi);
+  double frac = (target_hit_ratio - lo_ratio) / (hi_ratio - lo_ratio);
+  frac = std::clamp(frac, 0.0, 1.0);
+  return static_cast<double>(lo) + frac * static_cast<double>(hi - lo);
+}
+
+std::optional<double> InterpolateCapacityForHitRatio(
+    const std::vector<size_t>& capacities,
+    const std::vector<double>& hit_ratios, double target) {
+  LRUK_ASSERT(capacities.size() == hit_ratios.size(),
+              "curve arrays must have equal length");
+  LRUK_ASSERT(!capacities.empty(), "curve must be nonempty");
+  if (hit_ratios.front() >= target) {
+    return static_cast<double>(capacities.front());
+  }
+  for (size_t i = 1; i < capacities.size(); ++i) {
+    LRUK_ASSERT(capacities[i] > capacities[i - 1],
+                "capacities must be strictly increasing");
+    if (hit_ratios[i] >= target) {
+      double lo = hit_ratios[i - 1];
+      double hi = hit_ratios[i];
+      double frac = hi > lo ? (target - lo) / (hi - lo) : 1.0;
+      frac = std::clamp(frac, 0.0, 1.0);
+      return static_cast<double>(capacities[i - 1]) +
+             frac * static_cast<double>(capacities[i] - capacities[i - 1]);
+    }
+  }
+  return std::nullopt;  // Target above the measured curve.
+}
+
+Result<double> EquiEffectiveRatio(const PolicyConfig& baseline,
+                                  const PolicyConfig& better,
+                                  ReferenceStringGenerator& generator,
+                                  const SimOptions& sim,
+                                  const EquiEffectiveOptions& options) {
+  auto better_result = SimulatePolicy(better, generator, sim);
+  if (!better_result.ok()) return better_result.status();
+  double target = better_result->HitRatio();
+  auto needed = FindCapacityForHitRatio(baseline, generator, sim, target,
+                                        options);
+  if (!needed.ok()) return needed.status();
+  return *needed / static_cast<double>(sim.capacity);
+}
+
+}  // namespace lruk

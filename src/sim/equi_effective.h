@@ -1,0 +1,64 @@
+// The equi-effective buffer-size metric of Section 4.1: B(1)/B(2) is the
+// factor by which LRU-1 must grow its buffer to match LRU-2's hit ratio.
+// "a value of 2.0 ... indicates that while LRU-2 achieves a certain cache
+// hit ratio with B(2) buffer pages, LRU-1 must use twice as many buffer
+// pages to achieve the same hit ratio."
+//
+// FindCapacityForHitRatio inverts the (monotone, by the stack property /
+// empirically for the policies here) hit-ratio-vs-capacity curve with an
+// exponential bracket followed by bisection, then linearly interpolates
+// between the bracketing integer capacities for a fractional answer.
+
+#ifndef LRUK_SIM_EQUI_EFFECTIVE_H_
+#define LRUK_SIM_EQUI_EFFECTIVE_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace lruk {
+
+struct EquiEffectiveOptions {
+  // Capacity search range. The search gives up (returning max_capacity)
+  // when even max_capacity cannot reach the target hit ratio.
+  size_t min_capacity = 1;
+  size_t max_capacity = 1 << 20;
+};
+
+// Smallest (fractional, interpolated) capacity at which `config` reaches
+// `target_hit_ratio` on `generator` with the warmup/measure schedule from
+// `sim` (whose `capacity` field is ignored).
+Result<double> FindCapacityForHitRatio(const PolicyConfig& config,
+                                       ReferenceStringGenerator& generator,
+                                       const SimOptions& sim,
+                                       double target_hit_ratio,
+                                       const EquiEffectiveOptions& options = {});
+
+// The paper's B(1)/B(2): runs `better` at `sim.capacity` pages, then finds
+// the capacity at which `baseline` matches its hit ratio.
+Result<double> EquiEffectiveRatio(const PolicyConfig& baseline,
+                                  const PolicyConfig& better,
+                                  ReferenceStringGenerator& generator,
+                                  const SimOptions& sim,
+                                  const EquiEffectiveOptions& options = {});
+
+// Inverts an already-measured hit-ratio-vs-capacity curve: returns the
+// (piecewise-linearly interpolated) capacity at which the curve reaches
+// `target`, or nullopt when the target exceeds the curve's range. This is
+// how the paper's own B(1) values were obtained ("to achieve the same
+// cache hit ratio with LRU-1 requires approximately 140 pages") and lets
+// the table benches compute every row's B(1)/B(2) from one baseline sweep.
+// `capacities` must be strictly increasing and `hit_ratios` of equal size;
+// non-monotone dips in the measured curve are tolerated (first crossing
+// wins).
+std::optional<double> InterpolateCapacityForHitRatio(
+    const std::vector<size_t>& capacities,
+    const std::vector<double>& hit_ratios, double target);
+
+}  // namespace lruk
+
+#endif  // LRUK_SIM_EQUI_EFFECTIVE_H_

@@ -1,0 +1,52 @@
+// Streaming summary statistics (Welford's algorithm) for replicated
+// measurements: mean, sample standard deviation, and a normal-approximation
+// 95% confidence half-width.
+
+#ifndef LRUK_SIM_STATS_H_
+#define LRUK_SIM_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace lruk {
+
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  uint64_t Count() const { return n_; }
+  double Mean() const { return mean_; }
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+  // Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double Variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double StdDev() const { return std::sqrt(Variance()); }
+
+  // Half-width of the normal-approximation 95% confidence interval for the
+  // mean (1.96 * stderr); 0 with fewer than two samples.
+  double ConfidenceHalfWidth95() const {
+    if (n_ < 2) return 0.0;
+    return 1.96 * StdDev() / std::sqrt(static_cast<double>(n_));
+  }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace lruk
+
+#endif  // LRUK_SIM_STATS_H_

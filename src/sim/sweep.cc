@@ -1,0 +1,27 @@
+#include "sim/sweep.h"
+
+namespace lruk {
+
+Result<SweepResult> RunSweep(const SweepSpec& spec,
+                             ReferenceStringGenerator& generator) {
+  LRUK_ASSERT(!spec.capacities.empty() && !spec.policies.empty(),
+              "sweep grid must be nonempty");
+  SweepResult out;
+  out.capacities = spec.capacities;
+  out.results.resize(spec.capacities.size());
+
+  for (size_t ci = 0; ci < spec.capacities.size(); ++ci) {
+    out.results[ci].reserve(spec.policies.size());
+    for (const PolicyConfig& config : spec.policies) {
+      SimOptions sim = spec.sim;
+      sim.capacity = spec.capacities[ci];
+      auto result = SimulatePolicy(config, generator, sim);
+      if (!result.ok()) return result.status();
+      if (ci == 0) out.policy_names.push_back(result->policy_name);
+      out.results[ci].push_back(std::move(*result));
+    }
+  }
+  return out;
+}
+
+}  // namespace lruk

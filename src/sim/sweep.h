@@ -1,0 +1,43 @@
+// Parameter sweeps: run a grid of (buffer capacity x policy) simulations
+// over one workload, each cell on the identical reference string. This is
+// the shape of every table in the paper's Section 4.
+
+#ifndef LRUK_SIM_SWEEP_H_
+#define LRUK_SIM_SWEEP_H_
+
+#include <string>
+#include <vector>
+
+#include "core/policy_factory.h"
+#include "sim/simulator.h"
+#include "util/status.h"
+#include "workload/workload.h"
+
+namespace lruk {
+
+struct SweepSpec {
+  std::vector<size_t> capacities;
+  std::vector<PolicyConfig> policies;
+  // Warmup/measure schedule; `capacity` is overridden per cell.
+  SimOptions sim;
+};
+
+struct SweepResult {
+  std::vector<size_t> capacities;
+  std::vector<std::string> policy_names;
+  // results[i][j]: capacity i, policy j.
+  std::vector<std::vector<SimResult>> results;
+
+  double HitRatio(size_t capacity_index, size_t policy_index) const {
+    return results[capacity_index][policy_index].HitRatio();
+  }
+};
+
+// Runs every cell of the grid. Policies are rebuilt per cell (2Q and the
+// oracles need the capacity / trace context).
+Result<SweepResult> RunSweep(const SweepSpec& spec,
+                             ReferenceStringGenerator& generator);
+
+}  // namespace lruk
+
+#endif  // LRUK_SIM_SWEEP_H_

@@ -1,0 +1,116 @@
+#include "sim/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace lruk {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::Fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string AsciiTable::Integer(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::string AsciiTable::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto append_row = [&](std::string& out, const std::vector<std::string>& row) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out.append(widths[c] - cell.size(), ' ');
+      out += cell;
+      if (c + 1 < headers_.size()) out += "  ";
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  append_row(out, headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) append_row(out, row);
+  return out;
+}
+
+std::string AsciiTable::ToCsv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  auto append_row = [&](std::string& out, const std::vector<std::string>& row) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) out += ',';
+      out += escape(c < row.size() ? row[c] : std::string());
+    }
+    out += '\n';
+  };
+  std::string out;
+  append_row(out, headers_);
+  for (const auto& row : rows_) append_row(out, row);
+  return out;
+}
+
+Status AsciiTable::WriteCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot create " + path);
+  std::string csv = ToCsv();
+  size_t written = std::fwrite(csv.data(), 1, csv.size(), f);
+  bool bad = written != csv.size();
+  if (std::fclose(f) != 0) bad = true;
+  if (bad) return Status::IoError("error writing " + path);
+  return Status::Ok();
+}
+
+bool AsciiTable::MaybeWriteCsvFromEnv(const std::string& name) const {
+  const char* dir = std::getenv("LRUK_CSV_DIR");
+  if (dir == nullptr || dir[0] == '\0') return false;
+  std::string path = std::string(dir) + "/" + name + ".csv";
+  Status status = WriteCsv(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "csv export failed: %s\n",
+                 status.ToString().c_str());
+    return false;
+  }
+  std::printf("(csv written to %s)\n", path.c_str());
+  return true;
+}
+
+void AsciiTable::Print() const {
+  std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+}
+
+}  // namespace lruk

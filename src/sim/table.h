@@ -1,0 +1,53 @@
+// Minimal fixed-width ASCII table formatting for the bench binaries, which
+// print their results in the same row/column layout as the paper's tables.
+
+#ifndef LRUK_SIM_TABLE_H_
+#define LRUK_SIM_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace lruk {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  // Adds a row; cells beyond the header count are dropped, missing cells
+  // render empty.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience cell formatters.
+  static std::string Fixed(double value, int precision);
+  static std::string Integer(uint64_t value);
+
+  // Renders with a header underline, columns right-aligned.
+  std::string ToString() const;
+
+  // Renders as RFC-4180-ish CSV (fields quoted when they contain commas,
+  // quotes, or newlines).
+  std::string ToCsv() const;
+
+  // Renders straight to stdout.
+  void Print() const;
+
+  // Writes the CSV rendering to `path` (overwriting).
+  Status WriteCsv(const std::string& path) const;
+
+  // Convenience for bench binaries: when the environment variable
+  // LRUK_CSV_DIR is set, writes the CSV to <dir>/<name>.csv and returns
+  // true; otherwise does nothing. Lets `for b in bench/*; do $b; done`
+  // stay output-clean while plots can be regenerated on demand.
+  bool MaybeWriteCsvFromEnv(const std::string& name) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lruk
+
+#endif  // LRUK_SIM_TABLE_H_

@@ -1,0 +1,62 @@
+// Disk abstraction under the buffer pool. Two implementations:
+//   SimDiskManager  — in-memory page store with a service-time cost model,
+//                     used by simulations and tests.
+//   FileDiskManager — a real file on disk, used by the examples.
+
+#ifndef LRUK_STORAGE_DISK_MANAGER_H_
+#define LRUK_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+
+#include "core/types.h"
+#include "util/status.h"
+
+namespace lruk {
+
+// Fixed page size; Example 1.1 assumes "disk pages contain 4000 bytes of
+// usable space", which a 4 KiB page with headers matches.
+inline constexpr size_t kPageSize = 4096;
+
+// Cumulative I/O accounting, including the simulated elapsed service time
+// (reads/writes to a simulated disk cost `read/write_micros` each, giving
+// benches an I/O-time axis in addition to hit ratios).
+struct IoStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t allocations = 0;
+  uint64_t deallocations = 0;
+  double simulated_micros = 0.0;
+};
+
+class DiskManager {
+ public:
+  DiskManager() = default;
+  virtual ~DiskManager() = default;
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
+
+  // Reads page `p` into `out` (exactly kPageSize bytes).
+  virtual Status ReadPage(PageId p, char* out) = 0;
+
+  // Writes kPageSize bytes from `data` to page `p`.
+  virtual Status WritePage(PageId p, const char* data) = 0;
+
+  // Allocates a fresh zeroed page and returns its id.
+  virtual Result<PageId> AllocatePage() = 0;
+
+  // Returns `p` to the allocator. Reading a deallocated page is an error.
+  virtual Status DeallocatePage(PageId p) = 0;
+
+  // Number of currently allocated pages.
+  virtual uint64_t NumAllocatedPages() const = 0;
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats{}; }
+
+ protected:
+  IoStats stats_;
+};
+
+}  // namespace lruk
+
+#endif  // LRUK_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,97 @@
+#include "storage/file_disk_manager.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/macros.h"
+
+namespace lruk {
+
+FileDiskManager::FileDiskManager(const std::string& path) : path_(path) {
+  // "r+b" keeps existing contents; fall back to "w+b" to create.
+  file_ = std::fopen(path.c_str(), "r+b");
+  if (file_ == nullptr) file_ = std::fopen(path.c_str(), "w+b");
+  if (file_ == nullptr) return;
+  if (std::fseek(file_, 0, SEEK_END) == 0) {
+    long size = std::ftell(file_);
+    if (size > 0) {
+      next_page_id_ = static_cast<PageId>(size) / kPageSize;
+    }
+  }
+}
+
+FileDiskManager::~FileDiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileDiskManager::ReadPage(PageId p, char* out) {
+  if (file_ == nullptr) return Status::IoError("database file not open");
+  if (p >= next_page_id_ ||
+      std::find(free_list_.begin(), free_list_.end(), p) != free_list_.end()) {
+    return Status::NotFound("read of unallocated page " + std::to_string(p));
+  }
+  if (std::fseek(file_, static_cast<long>(p * kPageSize), SEEK_SET) != 0) {
+    return Status::IoError("seek failed");
+  }
+  size_t n = std::fread(out, 1, kPageSize, file_);
+  if (n < kPageSize) {
+    // Allocated but never written past EOF: the tail reads as zeros.
+    if (std::ferror(file_) != 0) {
+      std::clearerr(file_);
+      return Status::IoError("read failed on page " + std::to_string(p));
+    }
+    std::memset(out + n, 0, kPageSize - n);
+  }
+  ++stats_.reads;
+  return Status::Ok();
+}
+
+Status FileDiskManager::WritePage(PageId p, const char* data) {
+  if (file_ == nullptr) return Status::IoError("database file not open");
+  if (p >= next_page_id_ ||
+      std::find(free_list_.begin(), free_list_.end(), p) != free_list_.end()) {
+    return Status::NotFound("write of unallocated page " + std::to_string(p));
+  }
+  if (std::fseek(file_, static_cast<long>(p * kPageSize), SEEK_SET) != 0) {
+    return Status::IoError("seek failed");
+  }
+  if (std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
+    return Status::IoError("write failed on page " + std::to_string(p));
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IoError("flush failed on page " + std::to_string(p));
+  }
+  ++stats_.writes;
+  return Status::Ok();
+}
+
+Result<PageId> FileDiskManager::AllocatePage() {
+  if (file_ == nullptr) return Status::IoError("database file not open");
+  PageId p;
+  if (!free_list_.empty()) {
+    p = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    p = next_page_id_++;
+  }
+  ++stats_.allocations;
+  return p;
+}
+
+Status FileDiskManager::DeallocatePage(PageId p) {
+  if (file_ == nullptr) return Status::IoError("database file not open");
+  if (p >= next_page_id_ ||
+      std::find(free_list_.begin(), free_list_.end(), p) != free_list_.end()) {
+    return Status::NotFound("deallocation of unallocated page " +
+                            std::to_string(p));
+  }
+  free_list_.push_back(p);
+  ++stats_.deallocations;
+  return Status::Ok();
+}
+
+uint64_t FileDiskManager::NumAllocatedPages() const {
+  return next_page_id_ - free_list_.size();
+}
+
+}  // namespace lruk

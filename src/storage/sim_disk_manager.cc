@@ -1,0 +1,65 @@
+#include "storage/sim_disk_manager.h"
+
+#include <cstring>
+
+namespace lruk {
+
+SimDiskManager::SimDiskManager(SimDiskOptions options) : options_(options) {}
+
+Status SimDiskManager::ReadPage(PageId p, char* out) {
+  auto it = pages_.find(p);
+  if (it == pages_.end()) {
+    return Status::NotFound("read of unallocated page " + std::to_string(p));
+  }
+  if (it->second.data == nullptr) {
+    std::memset(out, 0, kPageSize);  // Allocated but never written: zeros.
+  } else {
+    std::memcpy(out, it->second.data.get(), kPageSize);
+  }
+  ++stats_.reads;
+  stats_.simulated_micros += options_.read_micros;
+  return Status::Ok();
+}
+
+Status SimDiskManager::WritePage(PageId p, const char* data) {
+  auto it = pages_.find(p);
+  if (it == pages_.end()) {
+    return Status::NotFound("write of unallocated page " + std::to_string(p));
+  }
+  if (it->second.data == nullptr) {
+    it->second.data = std::make_unique<char[]>(kPageSize);
+  }
+  std::memcpy(it->second.data.get(), data, kPageSize);
+  ++stats_.writes;
+  stats_.simulated_micros += options_.write_micros;
+  return Status::Ok();
+}
+
+Result<PageId> SimDiskManager::AllocatePage() {
+  PageId p;
+  if (!free_list_.empty()) {
+    p = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    p = next_page_id_++;
+  }
+  pages_.emplace(p, Slot{});
+  ++stats_.allocations;
+  return p;
+}
+
+Status SimDiskManager::DeallocatePage(PageId p) {
+  auto it = pages_.find(p);
+  if (it == pages_.end()) {
+    return Status::NotFound("deallocation of unallocated page " +
+                            std::to_string(p));
+  }
+  pages_.erase(it);
+  free_list_.push_back(p);
+  ++stats_.deallocations;
+  return Status::Ok();
+}
+
+uint64_t SimDiskManager::NumAllocatedPages() const { return pages_.size(); }
+
+}  // namespace lruk

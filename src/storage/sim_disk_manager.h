@@ -1,0 +1,47 @@
+// In-memory simulated disk with a constant-service-time cost model.
+
+#ifndef LRUK_STORAGE_SIM_DISK_MANAGER_H_
+#define LRUK_STORAGE_SIM_DISK_MANAGER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk_manager.h"
+
+namespace lruk {
+
+struct SimDiskOptions {
+  // Service time charged per operation, modeling a late-80s disk arm
+  // (~15 accesses/second ~ 66 ms would be period-faithful; defaults use a
+  // modern-ish 10 ms so example output reads naturally).
+  double read_micros = 10000.0;
+  double write_micros = 10000.0;
+};
+
+class SimDiskManager final : public DiskManager {
+ public:
+  explicit SimDiskManager(SimDiskOptions options = {});
+
+  Status ReadPage(PageId p, char* out) override;
+  Status WritePage(PageId p, const char* data) override;
+  Result<PageId> AllocatePage() override;
+  Status DeallocatePage(PageId p) override;
+  uint64_t NumAllocatedPages() const override;
+
+ private:
+  struct Slot {
+    std::unique_ptr<char[]> data;  // Lazily materialized on first write.
+  };
+
+  bool Allocated(PageId p) const { return pages_.contains(p); }
+
+  SimDiskOptions options_;
+  PageId next_page_id_ = 0;
+  std::vector<PageId> free_list_;
+  std::unordered_map<PageId, Slot> pages_;
+};
+
+}  // namespace lruk
+
+#endif  // LRUK_STORAGE_SIM_DISK_MANAGER_H_

@@ -1,0 +1,41 @@
+// Project-wide helper macros.
+//
+// The library is exception-free (Google style): recoverable errors travel
+// through util::Status / util::Result, and violated invariants abort via
+// LRUK_ASSERT, which is active in all build types (these are cheap checks on
+// control paths, not per-byte data paths).
+
+#ifndef LRUK_UTIL_MACROS_H_
+#define LRUK_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Asserts that `expr` holds; prints the failing expression with its source
+// location and aborts otherwise. Enabled in release builds as well: every
+// use guards a structural invariant whose violation would silently corrupt
+// simulation results.
+#define LRUK_ASSERT(expr, message)                                          \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      std::fprintf(stderr, "LRUK_ASSERT failed: %s\n  at %s:%d\n  %s\n",    \
+                   #expr, __FILE__, __LINE__, message);                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// Marks an unreachable branch; aborts if control ever arrives.
+#define LRUK_UNREACHABLE(message) LRUK_ASSERT(false, message)
+
+// Disallows copy construction and copy assignment for `TypeName`.
+#define LRUK_DISALLOW_COPY(TypeName)      \
+  TypeName(const TypeName&) = delete;     \
+  TypeName& operator=(const TypeName&) = delete
+
+// Disallows copy and move entirely for `TypeName`.
+#define LRUK_DISALLOW_COPY_AND_MOVE(TypeName) \
+  LRUK_DISALLOW_COPY(TypeName);               \
+  TypeName(TypeName&&) = delete;              \
+  TypeName& operator=(TypeName&&) = delete
+
+#endif  // LRUK_UTIL_MACROS_H_

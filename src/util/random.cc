@@ -1,0 +1,108 @@
+#include "util/random.h"
+
+#include "util/macros.h"
+
+namespace lruk {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+uint64_t SplitMix64Next(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+RandomEngine::RandomEngine(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = SplitMix64Next(sm);
+  }
+  // xoshiro's all-zero state is a fixed point; SplitMix64 cannot emit four
+  // zero words in a row from any seed, but guard against it regardless.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    s_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+uint64_t RandomEngine::NextUint64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t RandomEngine::NextBounded(uint64_t bound) {
+  LRUK_ASSERT(bound != 0, "NextBounded requires a nonzero bound");
+  // Lemire's nearly-divisionless method.
+  uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t RandomEngine::NextInRange(int64_t lo, int64_t hi) {
+  LRUK_ASSERT(lo <= hi, "NextInRange requires lo <= hi");
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  uint64_t draw = (span == 0) ? NextUint64() : NextBounded(span);
+  return lo + static_cast<int64_t>(draw);
+}
+
+double RandomEngine::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool RandomEngine::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+size_t RandomEngine::NextWeighted(const std::vector<double>& weights) {
+  LRUK_ASSERT(!weights.empty(), "NextWeighted requires weights");
+  double total = 0.0;
+  for (double w : weights) {
+    LRUK_ASSERT(w >= 0.0, "weights must be nonnegative");
+    total += w;
+  }
+  LRUK_ASSERT(total > 0.0, "weights must have a positive sum");
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;  // Floating-point slack: fall back to the last.
+}
+
+RandomEngine RandomEngine::Fork() {
+  // Derive the child seed from two outputs so forked streams do not overlap
+  // the parent's own future draws in any obvious algebraic way.
+  uint64_t a = NextUint64();
+  uint64_t b = NextUint64();
+  uint64_t mix = a ^ Rotl(b, 31) ^ 0xd1b54a32d192ed03ULL;
+  return RandomEngine(mix);
+}
+
+}  // namespace lruk

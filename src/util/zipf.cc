@@ -1,0 +1,132 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace lruk {
+
+RecursiveSkewDistribution::RecursiveSkewDistribution(double alpha, double beta,
+                                                     uint64_t n)
+    : n_(n) {
+  LRUK_ASSERT(n >= 1, "RecursiveSkewDistribution requires n >= 1");
+  LRUK_ASSERT(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+  LRUK_ASSERT(beta > 0.0 && beta < 1.0, "beta must be in (0,1)");
+  theta_ = std::log(alpha) / std::log(beta);
+  inv_theta_ = 1.0 / theta_;
+}
+
+uint64_t RecursiveSkewDistribution::Sample(RandomEngine& rng) const {
+  // Inverse CDF: find the smallest integer i with (i/n)^theta >= u, i.e.
+  // i = ceil(n * u^(1/theta)).
+  double u = rng.NextDouble();
+  double x = static_cast<double>(n_) * std::pow(u, inv_theta_);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(x));
+  if (rank < 1) rank = 1;
+  if (rank > n_) rank = n_;
+  return rank;
+}
+
+double RecursiveSkewDistribution::Cdf(uint64_t i) const {
+  if (i == 0) return 0.0;
+  if (i >= n_) return 1.0;
+  return std::pow(static_cast<double>(i) / static_cast<double>(n_), theta_);
+}
+
+double RecursiveSkewDistribution::Pmf(uint64_t i) const {
+  LRUK_ASSERT(i >= 1 && i <= n_, "rank out of range");
+  return Cdf(i) - Cdf(i - 1);
+}
+
+std::vector<double> RecursiveSkewDistribution::ProbabilityVector() const {
+  std::vector<double> probs(n_);
+  double prev = 0.0;
+  for (uint64_t i = 1; i <= n_; ++i) {
+    double cur = Cdf(i);
+    probs[i - 1] = cur - prev;
+    prev = cur;
+  }
+  return probs;
+}
+
+ClassicZipfDistribution::ClassicZipfDistribution(double s, uint64_t n) {
+  LRUK_ASSERT(n >= 1, "ClassicZipfDistribution requires n >= 1");
+  LRUK_ASSERT(s >= 0.0, "Zipf exponent must be nonnegative");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), s);
+    cdf_[i - 1] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+  cdf_.back() = 1.0;  // Defend against rounding at the tail.
+}
+
+uint64_t ClassicZipfDistribution::Sample(RandomEngine& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+double ClassicZipfDistribution::Pmf(uint64_t i) const {
+  LRUK_ASSERT(i >= 1 && i <= n(), "rank out of range");
+  double hi = cdf_[i - 1];
+  double lo = (i == 1) ? 0.0 : cdf_[i - 2];
+  return hi - lo;
+}
+
+std::vector<double> ClassicZipfDistribution::ProbabilityVector() const {
+  std::vector<double> probs(n());
+  for (uint64_t i = 1; i <= n(); ++i) probs[i - 1] = Pmf(i);
+  return probs;
+}
+
+DiscreteSampler::DiscreteSampler(const std::vector<double>& weights) {
+  LRUK_ASSERT(!weights.empty(), "DiscreteSampler requires weights");
+  const size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    LRUK_ASSERT(w >= 0.0, "weights must be nonnegative");
+    total += w;
+  }
+  LRUK_ASSERT(total > 0.0, "weights must have a positive sum");
+
+  normalized_.resize(n);
+  for (size_t i = 0; i < n; ++i) normalized_[i] = weights[i] / total;
+
+  // Standard alias-table construction (Vose's stable variant).
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = normalized_[i] * static_cast<double>(n);
+  }
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Leftovers are exactly 1.0 modulo rounding.
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;
+}
+
+size_t DiscreteSampler::Sample(RandomEngine& rng) const {
+  size_t column = static_cast<size_t>(rng.NextBounded(prob_.size()));
+  return rng.NextDouble() < prob_[column] ? column : alias_[column];
+}
+
+}  // namespace lruk

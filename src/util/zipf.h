@@ -1,0 +1,101 @@
+// Skewed discrete distributions used by the workload generators.
+//
+// Two families are provided:
+//
+//  * RecursiveSkewDistribution — the distribution used in the paper's
+//    Section 4.2: "the probability for referencing a page with page number
+//    less than or equal to i is (i/N)^(log alpha / log beta)"; i.e. a
+//    fraction alpha of references targets a fraction beta of the pages,
+//    recursively (the 80-20 rule when alpha=0.8, beta=0.2). The CDF is
+//    closed-form, so sampling is a single inverse-CDF evaluation.
+//
+//  * ClassicZipfDistribution — the textbook Zipf(s) law, P(rank i) ∝ 1/i^s,
+//    provided for users replaying standard cache benchmarks.
+//
+// Plus DiscreteSampler, an O(1) alias-method sampler over an arbitrary
+// probability vector, used by the synthetic OLTP workload and by tests that
+// need exact finite distributions (e.g. feeding the A0 oracle).
+
+#ifndef LRUK_UTIL_ZIPF_H_
+#define LRUK_UTIL_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace lruk {
+
+// The paper's recursive alpha-beta skew over ranks 1..N.
+class RecursiveSkewDistribution {
+ public:
+  // Requires 0 < alpha < 1, 0 < beta < 1, n >= 1. alpha is the fraction of
+  // references, beta the fraction of pages they hit.
+  RecursiveSkewDistribution(double alpha, double beta, uint64_t n);
+
+  // Samples a rank in [1, n]; rank 1 is the hottest page.
+  uint64_t Sample(RandomEngine& rng) const;
+
+  // CDF: probability that a reference hits a rank <= i.
+  double Cdf(uint64_t i) const;
+
+  // Exact probability mass of rank i (Cdf(i) - Cdf(i-1)).
+  double Pmf(uint64_t i) const;
+
+  // All n per-rank probabilities; feeds the A0 oracle.
+  std::vector<double> ProbabilityVector() const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;      // log(alpha) / log(beta)
+  double inv_theta_;  // 1 / theta
+};
+
+// Classic Zipf(s): P(rank i) = (1/i^s) / H_{N,s}. Sampling is by binary
+// search over a precomputed CDF (O(log n)); construction is O(n).
+class ClassicZipfDistribution {
+ public:
+  // Requires n >= 1, s >= 0 (s == 0 degenerates to uniform).
+  ClassicZipfDistribution(double s, uint64_t n);
+
+  // Samples a rank in [1, n].
+  uint64_t Sample(RandomEngine& rng) const;
+
+  double Pmf(uint64_t i) const;
+  std::vector<double> ProbabilityVector() const;
+
+  uint64_t n() const { return static_cast<uint64_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i+1)
+};
+
+// Walker alias method: O(n) build, O(1) sample, exact for any finite
+// probability vector.
+class DiscreteSampler {
+ public:
+  // `weights` must be nonempty and nonnegative with positive sum; they are
+  // normalized internally.
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  // Samples an index in [0, size()).
+  size_t Sample(RandomEngine& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+  // Normalized probability of index i.
+  double Probability(size_t i) const { return normalized_[i]; }
+
+ private:
+  std::vector<double> prob_;     // acceptance threshold per column
+  std::vector<uint32_t> alias_;  // alias target per column
+  std::vector<double> normalized_;
+};
+
+}  // namespace lruk
+
+#endif  // LRUK_UTIL_ZIPF_H_

@@ -1,0 +1,149 @@
+// Tests for the Section 3 Bayesian formulas, including a brute-force check
+// of formula (3.6) against its direct (non-log-space) evaluation and the
+// Lemma 3.6 monotonicity property.
+
+#include "analysis/bayes.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace lruk {
+namespace {
+
+// Direct (numerically naive) evaluation of (3.6) for small k.
+std::vector<double> DirectPosterior(const std::vector<double>& beta, int K,
+                                    uint64_t k) {
+  std::vector<double> weights(beta.size());
+  double sum = 0.0;
+  for (size_t j = 0; j < beta.size(); ++j) {
+    weights[j] = std::pow(beta[j], K) *
+                 std::pow(1.0 - beta[j], static_cast<double>(k - K + 1));
+    sum += weights[j];
+  }
+  for (auto& w : weights) w /= sum;
+  return weights;
+}
+
+TEST(PosteriorTest, MatchesDirectEvaluation) {
+  std::vector<double> beta = {0.4, 0.3, 0.2, 0.1};
+  for (int K : {1, 2, 3}) {
+    for (uint64_t k : {static_cast<uint64_t>(K), uint64_t{5}, uint64_t{20}}) {
+      auto fast = PosteriorComponentProbabilities(beta, K, k);
+      auto slow = DirectPosterior(beta, K, k);
+      ASSERT_EQ(fast.size(), slow.size());
+      for (size_t j = 0; j < fast.size(); ++j) {
+        EXPECT_NEAR(fast[j], slow[j], 1e-12)
+            << "K=" << K << " k=" << k << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(PosteriorTest, SumsToOne) {
+  std::vector<double> beta = {0.5, 0.25, 0.15, 0.1};
+  for (uint64_t k : {2u, 10u, 100u, 100000u}) {
+    auto post = PosteriorComponentProbabilities(beta, 2, k);
+    double sum = std::accumulate(post.begin(), post.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(PosteriorTest, SmallDistanceImplicatesHotComponent) {
+  // b_t(i,2) = 2 (the smallest possible): the page is almost surely the
+  // hot one.
+  std::vector<double> beta = {0.9, 0.05, 0.05};
+  auto post = PosteriorComponentProbabilities(beta, 2, 2);
+  EXPECT_GT(post[0], post[1]);
+  EXPECT_GT(post[0], 0.9);
+}
+
+TEST(PosteriorTest, LargeDistanceImplicatesColdComponent) {
+  std::vector<double> beta = {0.9, 0.05, 0.05};
+  auto post = PosteriorComponentProbabilities(beta, 2, 500);
+  EXPECT_LT(post[0], 1e-6);  // (1-0.9)^499 annihilates the hot hypothesis.
+  EXPECT_NEAR(post[1], 0.5, 1e-6);
+}
+
+TEST(PosteriorTest, StableAtHugeBackwardDistances) {
+  std::vector<double> beta = {0.5, 0.3, 0.2};
+  auto post = PosteriorComponentProbabilities(beta, 2, 5'000'000);
+  double sum = std::accumulate(post.begin(), post.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(post[2], 0.99);  // Everything concentrates on the coldest.
+}
+
+TEST(EstimateTest, EqualBetaGivesConstantEstimate) {
+  std::vector<double> beta(10, 0.1);
+  double e1 = EstimatedReferenceProbability(beta, 2, 2);
+  double e2 = EstimatedReferenceProbability(beta, 2, 1000);
+  EXPECT_NEAR(e1, 0.1, 1e-12);
+  EXPECT_NEAR(e2, 0.1, 1e-12);
+}
+
+TEST(EstimateTest, BoundsWithinBetaRange) {
+  std::vector<double> beta = {0.7, 0.2, 0.1};
+  for (uint64_t k : {2u, 5u, 50u, 5000u}) {
+    double e = EstimatedReferenceProbability(beta, 2, k);
+    EXPECT_GE(e, 0.1 - 1e-12);
+    EXPECT_LE(e, 0.7 + 1e-12);
+  }
+}
+
+TEST(Lemma36Test, EstimateStrictlyDecreasesWithDistance) {
+  // k is capped where the decrement is still above double resolution; far
+  // beyond that the estimate saturates at min(beta) (see the next test).
+  std::vector<double> beta = {0.4, 0.3, 0.2, 0.1};
+  EXPECT_TRUE(EstimateIsStrictlyDecreasing(beta, 2, 60));
+  EXPECT_TRUE(EstimateIsStrictlyDecreasing(beta, 1, 60));
+  EXPECT_TRUE(EstimateIsStrictlyDecreasing(beta, 3, 60));
+}
+
+TEST(Lemma36Test, EstimateSaturatesAtColdestComponent) {
+  std::vector<double> beta = {0.4, 0.3, 0.2, 0.1};
+  EXPECT_NEAR(EstimatedReferenceProbability(beta, 2, 100000), 0.1, 1e-9);
+}
+
+TEST(Lemma36Test, RequiresTwoDistinctValues) {
+  std::vector<double> beta(5, 0.2);
+  // All-equal beta: the estimate is constant, not strictly decreasing —
+  // exactly the lemma's caveat.
+  EXPECT_FALSE(EstimateIsStrictlyDecreasing(beta, 2, 100));
+}
+
+TEST(Lemma36Test, OrderingMatchesLruKVictimChoice) {
+  // If b(x) < b(y) then E(P(x)) > E(P(y)) — the inequality that justifies
+  // evicting the max-backward-distance page.
+  std::vector<double> beta = {0.5, 0.3, 0.15, 0.05};
+  for (uint64_t bx = 2; bx < 50; bx += 3) {
+    for (uint64_t by = bx + 1; by < 60; by += 7) {
+      EXPECT_GT(EstimatedReferenceProbability(beta, 2, bx),
+                EstimatedReferenceProbability(beta, 2, by))
+          << "bx=" << bx << " by=" << by;
+    }
+  }
+}
+
+TEST(ExpectedCostTest, TopMCoversHottestEstimates) {
+  std::vector<double> beta = {0.5, 0.3, 0.2};
+  // Three pages with distances 2 (hot), 10, 1000 (cold); m = 2 buffers.
+  std::vector<uint64_t> distances = {1000, 2, 10};
+  double cost = ExpectedCostOfTopM(beta, 2, distances, 2);
+  // Holding the two closest pages must beat holding any other pair.
+  double worse = 1.0 - (EstimatedReferenceProbability(beta, 2, 2) +
+                        EstimatedReferenceProbability(beta, 2, 1000));
+  EXPECT_LT(cost, worse + 1e-12);
+  EXPECT_GT(cost, 0.0);
+  EXPECT_LT(cost, 1.0);
+}
+
+TEST(ExpectedCostTest, InfiniteDistancesContributeNothing) {
+  std::vector<double> beta = {0.6, 0.4};
+  std::vector<uint64_t> distances = {UINT64_MAX, UINT64_MAX};
+  EXPECT_DOUBLE_EQ(ExpectedCostOfTopM(beta, 2, distances, 2), 1.0);
+}
+
+}  // namespace
+}  // namespace lruk

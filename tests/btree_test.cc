@@ -1,0 +1,339 @@
+// B+tree tests: CRUD correctness, splits and merges, range scans, and
+// structural invariants maintained under randomized insert/delete storms.
+
+#include "btree/btree.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/lru.h"
+#include "gtest/gtest.h"
+#include "storage/sim_disk_manager.h"
+#include "util/random.h"
+
+namespace lruk {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  // A generous pool so tree structure, not buffering, is under test.
+  BTreeTest()
+      : pool_(256, &disk_, std::make_unique<LruPolicy>()) {}
+
+  SimDiskManager disk_;
+  BufferPool pool_;
+};
+
+TEST_F(BTreeTest, EmptyTree) {
+  BTree tree(&pool_);
+  EXPECT_TRUE(tree.Empty());
+  EXPECT_EQ(tree.Size(), 0u);
+  EXPECT_FALSE(tree.Get(1).ok());
+  EXPECT_FALSE(tree.Delete(1).ok());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST_F(BTreeTest, SingleInsertAndGet) {
+  BTree tree(&pool_);
+  ASSERT_TRUE(tree.Insert(10, 100).ok());
+  auto v = tree.Get(10);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 100u);
+  EXPECT_EQ(tree.Size(), 1u);
+  EXPECT_FALSE(tree.Get(11).ok());
+}
+
+TEST_F(BTreeTest, UpdateOverwritesInPlace) {
+  BTree tree(&pool_);
+  ASSERT_TRUE(tree.Insert(5, 50).ok());
+  ASSERT_TRUE(tree.Update(5, 99).ok());
+  EXPECT_EQ(*tree.Get(5), 99u);
+  EXPECT_EQ(tree.Size(), 1u);
+  EXPECT_EQ(tree.Update(6, 1).code(), StatusCode::kNotFound);
+  EXPECT_TRUE(tree.Update(5, 100).ok());
+  EXPECT_EQ(*tree.Get(5), 100u);
+}
+
+TEST_F(BTreeTest, UpdateAcrossManyLeaves) {
+  BTreeOptions options;
+  options.leaf_capacity = 4;
+  BTree tree(&pool_, options);
+  for (uint64_t k = 0; k < 100; ++k) ASSERT_TRUE(tree.Insert(k, k).ok());
+  for (uint64_t k = 0; k < 100; k += 7) {
+    ASSERT_TRUE(tree.Update(k, k * 1000).ok());
+  }
+  for (uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(*tree.Get(k), k % 7 == 0 ? k * 1000 : k);
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST_F(BTreeTest, DuplicateInsertRejected) {
+  BTree tree(&pool_);
+  ASSERT_TRUE(tree.Insert(5, 1).ok());
+  Status dup = tree.Insert(5, 2);
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(*tree.Get(5), 1u);  // Original value untouched.
+  EXPECT_EQ(tree.Size(), 1u);
+}
+
+TEST_F(BTreeTest, SequentialInsertCausesSplits) {
+  BTreeOptions options;
+  options.leaf_capacity = 4;
+  options.internal_capacity = 4;
+  BTree tree(&pool_, options);
+  for (uint64_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(tree.Insert(k, k * 7).ok()) << "key " << k;
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (uint64_t k = 0; k < 200; ++k) {
+    auto v = tree.Get(k);
+    ASSERT_TRUE(v.ok()) << "key " << k;
+    EXPECT_EQ(*v, k * 7);
+  }
+  auto pages = tree.CountPages();
+  ASSERT_TRUE(pages.ok());
+  EXPECT_GT(*pages, 50u);  // Many small nodes: splits actually happened.
+}
+
+TEST_F(BTreeTest, ReverseAndShuffledInsertOrders) {
+  BTreeOptions options;
+  options.leaf_capacity = 6;
+  options.internal_capacity = 6;
+  for (int mode = 0; mode < 2; ++mode) {
+    BTree tree(&pool_, options);
+    std::vector<uint64_t> keys(300);
+    for (size_t i = 0; i < keys.size(); ++i) keys[i] = i;
+    if (mode == 0) {
+      std::reverse(keys.begin(), keys.end());
+    } else {
+      RandomEngine rng(77);
+      rng.Shuffle(keys);
+    }
+    for (uint64_t k : keys) ASSERT_TRUE(tree.Insert(k, k + 1).ok());
+    ASSERT_TRUE(tree.CheckInvariants().ok());
+    for (uint64_t k = 0; k < 300; ++k) {
+      ASSERT_TRUE(tree.Get(k).ok()) << "mode " << mode << " key " << k;
+    }
+  }
+}
+
+TEST_F(BTreeTest, RangeScanReturnsSortedWindow) {
+  BTreeOptions options;
+  options.leaf_capacity = 4;
+  BTree tree(&pool_, options);
+  for (uint64_t k = 0; k < 100; k += 2) {  // Even keys only.
+    ASSERT_TRUE(tree.Insert(k, k).ok());
+  }
+  auto range = tree.Range(11, 29);
+  ASSERT_TRUE(range.ok());
+  std::vector<std::pair<uint64_t, uint64_t>> expected;
+  for (uint64_t k = 12; k <= 28; k += 2) expected.emplace_back(k, k);
+  EXPECT_EQ(*range, expected);
+}
+
+TEST_F(BTreeTest, ScanEarlyStop) {
+  BTree tree(&pool_);
+  for (uint64_t k = 0; k < 50; ++k) ASSERT_TRUE(tree.Insert(k, k).ok());
+  int visited = 0;
+  ASSERT_TRUE(tree.Scan(0, 49, [&visited](uint64_t, uint64_t) {
+                    return ++visited < 10;
+                  }).ok());
+  EXPECT_EQ(visited, 10);
+}
+
+TEST_F(BTreeTest, ScanAcrossLeafBoundaries) {
+  BTreeOptions options;
+  options.leaf_capacity = 4;
+  BTree tree(&pool_, options);
+  for (uint64_t k = 0; k < 64; ++k) ASSERT_TRUE(tree.Insert(k, 2 * k).ok());
+  auto all = tree.Range(0, UINT64_MAX);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 64u);
+  for (uint64_t k = 0; k < 64; ++k) {
+    EXPECT_EQ((*all)[k].first, k);
+    EXPECT_EQ((*all)[k].second, 2 * k);
+  }
+}
+
+TEST_F(BTreeTest, DeleteLeavesTreeConsistent) {
+  BTreeOptions options;
+  options.leaf_capacity = 4;
+  options.internal_capacity = 4;
+  BTree tree(&pool_, options);
+  for (uint64_t k = 0; k < 100; ++k) ASSERT_TRUE(tree.Insert(k, k).ok());
+  // Delete every third key.
+  for (uint64_t k = 0; k < 100; k += 3) {
+    ASSERT_TRUE(tree.Delete(k).ok()) << "key " << k;
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (uint64_t k = 0; k < 100; ++k) {
+    if (k % 3 == 0) {
+      EXPECT_FALSE(tree.Get(k).ok()) << "key " << k;
+    } else {
+      EXPECT_TRUE(tree.Get(k).ok()) << "key " << k;
+    }
+  }
+  EXPECT_EQ(tree.Size(), 100u - 34u);
+}
+
+TEST_F(BTreeTest, DeleteEverythingCollapsesTree) {
+  BTreeOptions options;
+  options.leaf_capacity = 4;
+  options.internal_capacity = 4;
+  BTree tree(&pool_, options);
+  for (uint64_t k = 0; k < 150; ++k) ASSERT_TRUE(tree.Insert(k, k).ok());
+  for (uint64_t k = 0; k < 150; ++k) {
+    ASSERT_TRUE(tree.Delete(k).ok()) << "key " << k;
+    if (k % 10 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "key " << k;
+    }
+  }
+  EXPECT_TRUE(tree.Empty());
+  EXPECT_EQ(tree.Size(), 0u);
+  // All tree pages returned to the allocator except nothing: the root is
+  // gone too, so a fresh insert builds a new tree.
+  ASSERT_TRUE(tree.Insert(1, 1).ok());
+  EXPECT_TRUE(tree.Get(1).ok());
+}
+
+TEST_F(BTreeTest, DeleteMissingKeyFails) {
+  BTree tree(&pool_);
+  ASSERT_TRUE(tree.Insert(1, 1).ok());
+  EXPECT_EQ(tree.Delete(2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.Size(), 1u);
+}
+
+TEST_F(BTreeTest, RandomizedInsertDeleteAgainstStdMap) {
+  BTreeOptions options;
+  options.leaf_capacity = 5;
+  options.internal_capacity = 5;
+  BTree tree(&pool_, options);
+  std::map<uint64_t, uint64_t> model;
+  RandomEngine rng(2024);
+
+  for (int step = 0; step < 3000; ++step) {
+    uint64_t key = rng.NextBounded(500);
+    double action = rng.NextDouble();
+    if (action < 0.6) {
+      uint64_t value = rng.NextUint64();
+      Status status = tree.Insert(key, value);
+      if (model.contains(key)) {
+        ASSERT_EQ(status.code(), StatusCode::kAlreadyExists);
+      } else {
+        ASSERT_TRUE(status.ok());
+        model[key] = value;
+      }
+    } else if (action < 0.9) {
+      Status status = tree.Delete(key);
+      if (model.contains(key)) {
+        ASSERT_TRUE(status.ok()) << status.ToString();
+        model.erase(key);
+      } else {
+        ASSERT_EQ(status.code(), StatusCode::kNotFound);
+      }
+    } else {
+      auto got = tree.Get(key);
+      if (model.contains(key)) {
+        ASSERT_TRUE(got.ok());
+        ASSERT_EQ(*got, model[key]);
+      } else {
+        ASSERT_FALSE(got.ok());
+      }
+    }
+    ASSERT_EQ(tree.Size(), model.size());
+    if (step % 250 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  // Full final comparison via scan.
+  auto all = tree.Range(0, UINT64_MAX);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), model.size());
+  size_t i = 0;
+  for (const auto& [k, v] : model) {
+    EXPECT_EQ((*all)[i].first, k);
+    EXPECT_EQ((*all)[i].second, v);
+    ++i;
+  }
+}
+
+TEST_F(BTreeTest, LeafPageIdsCoverAllLeaves) {
+  BTreeOptions options;
+  options.leaf_capacity = 4;
+  BTree tree(&pool_, options);
+  for (uint64_t k = 0; k < 64; ++k) ASSERT_TRUE(tree.Insert(k, k).ok());
+  auto leaves = tree.LeafPageIds();
+  ASSERT_TRUE(leaves.ok());
+  // 64 keys at <= 4 per leaf: at least 16 leaves.
+  EXPECT_GE(leaves->size(), 16u);
+}
+
+TEST_F(BTreeTest, Example11GeometryHasExactly100PackedLeaves) {
+  // The paper's Example 1.1: 20,000 keys at 200 entries per packed-full
+  // leaf = exactly 100 leaf pages, thanks to the rightmost-split
+  // optimization (pack_sequential_inserts, on by default).
+  BTreeOptions options;
+  options.leaf_capacity = 200;
+  BTree tree(&pool_, options);
+  for (uint64_t k = 0; k < 20000; ++k) {
+    ASSERT_TRUE(tree.Insert(k, 100 + k / 2).ok());
+  }
+  auto leaves = tree.LeafPageIds();
+  ASSERT_TRUE(leaves.ok());
+  EXPECT_EQ(leaves->size(), 100u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST_F(BTreeTest, PackedInsertsDisabledGivesHalfFullLeaves) {
+  BTreeOptions options;
+  options.leaf_capacity = 200;
+  options.pack_sequential_inserts = false;
+  BTree tree(&pool_, options);
+  for (uint64_t k = 0; k < 20000; ++k) {
+    ASSERT_TRUE(tree.Insert(k, k).ok());
+  }
+  auto leaves = tree.LeafPageIds();
+  ASSERT_TRUE(leaves.ok());
+  EXPECT_GT(leaves->size(), 150u);  // Ceil-half splits: ~2x the leaves.
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST_F(BTreeTest, PackedTailLeafSurvivesDeleteRebalance) {
+  BTreeOptions options;
+  options.leaf_capacity = 6;
+  options.internal_capacity = 6;
+  BTree tree(&pool_, options);
+  for (uint64_t k = 0; k < 60; ++k) ASSERT_TRUE(tree.Insert(k, k).ok());
+  // Drain the (possibly underfull) tail region and verify consistency.
+  for (uint64_t k = 59; k >= 30; --k) {
+    ASSERT_TRUE(tree.Delete(k).ok());
+    ASSERT_TRUE(tree.CheckInvariants().ok()) << "key " << k;
+  }
+  for (uint64_t k = 0; k < 30; ++k) ASSERT_TRUE(tree.Get(k).ok());
+}
+
+TEST_F(BTreeTest, SmallPoolStillWorks) {
+  // The tree must operate with a pool barely larger than its height
+  // (guards pin one page per level during descent).
+  SimDiskManager disk;
+  BufferPool tiny_pool(8, &disk, std::make_unique<LruPolicy>());
+  BTreeOptions options;
+  options.leaf_capacity = 4;
+  options.internal_capacity = 4;
+  BTree tree(&tiny_pool, options);
+  for (uint64_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(tree.Insert(k, k).ok()) << "key " << k;
+  }
+  for (uint64_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(tree.Get(k).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_GT(disk.stats().reads, 0u);  // The pool actually paged.
+}
+
+}  // namespace
+}  // namespace lruk

@@ -1,0 +1,146 @@
+// Tests for RunningStats, expected-cost sampling, and the convergence
+// harness.
+
+#include <cmath>
+
+#include "core/policy_factory.h"
+#include "gtest/gtest.h"
+#include "sim/convergence.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "workload/moving_hotspot.h"
+#include "workload/two_pool.h"
+
+namespace lruk {
+namespace {
+
+TEST(RunningStatsTest, MeanAndVariance) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(x);
+  EXPECT_EQ(stats.Count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 5.0);
+  EXPECT_NEAR(stats.Variance(), 32.0 / 7.0, 1e-12);  // Sample variance.
+  EXPECT_DOUBLE_EQ(stats.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.Max(), 9.0);
+  EXPECT_GT(stats.ConfidenceHalfWidth95(), 0.0);
+}
+
+TEST(RunningStatsTest, DegenerateCases) {
+  RunningStats stats;
+  EXPECT_EQ(stats.Count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.Variance(), 0.0);
+  stats.Add(3.5);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.ConfidenceHalfWidth95(), 0.0);
+}
+
+TEST(RunningStatsTest, ConstantStreamHasZeroVariance) {
+  RunningStats stats;
+  for (int i = 0; i < 100; ++i) stats.Add(7.0);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 7.0);
+  EXPECT_NEAR(stats.Variance(), 0.0, 1e-12);
+}
+
+TEST(ExpectedCostSamplingTest, OrderedByPolicyQuality) {
+  // Theorem 3.8 in simulation: mean expected cost (formula 3.8) satisfies
+  // A0 <= LRU-2 <= LRU-1 on the two-pool workload.
+  TwoPoolOptions topt;
+  topt.n1 = 50;
+  topt.n2 = 5000;
+  TwoPoolWorkload gen(topt);
+  SimOptions sim;
+  sim.capacity = 60;
+  sim.warmup_refs = 5000;
+  sim.measure_refs = 20000;
+  sim.cost_sample_interval = 100;
+  sim.track_classes = false;
+
+  auto a0 = SimulatePolicy(PolicyConfig::A0(), gen, sim);
+  auto lru2 = SimulatePolicy(PolicyConfig::LruK(2), gen, sim);
+  auto lru1 = SimulatePolicy(PolicyConfig::Lru(), gen, sim);
+  ASSERT_TRUE(a0.ok() && lru2.ok() && lru1.ok());
+  ASSERT_GE(a0->mean_expected_cost, 0.0);
+  EXPECT_LE(a0->mean_expected_cost, lru2->mean_expected_cost + 0.01);
+  EXPECT_LT(lru2->mean_expected_cost, lru1->mean_expected_cost - 0.02);
+  // Expected cost predicts the measured miss ratio.
+  EXPECT_NEAR(lru1->mean_expected_cost, 1.0 - lru1->HitRatio(), 0.05);
+}
+
+TEST(ExpectedCostSamplingTest, DisabledByDefault) {
+  TwoPoolOptions topt;
+  TwoPoolWorkload gen(topt);
+  SimOptions sim;
+  sim.capacity = 50;
+  sim.warmup_refs = 100;
+  sim.measure_refs = 500;
+  auto result = SimulatePolicy(PolicyConfig::Lru(), gen, sim);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->mean_expected_cost, 0.0);  // Sentinel: not sampled.
+}
+
+ConvergenceOptions FastConvergence() {
+  ConvergenceOptions copt;
+  copt.capacity = 60;
+  copt.pre_shift_refs = 20000;
+  copt.post_shift_refs = 20000;
+  copt.window = 500;
+  copt.recovery_fraction = 0.9;
+  return copt;
+}
+
+MovingHotspotOptions ShiftingWorkload() {
+  MovingHotspotOptions mopt;
+  mopt.num_pages = 5000;
+  mopt.hot_pages = 50;
+  mopt.hot_probability = 0.9;
+  mopt.epoch_length = 20000;  // Must equal pre_shift_refs.
+  mopt.shift = 2500;          // Disjoint new hot region.
+  mopt.seed = 99;
+  return mopt;
+}
+
+TEST(ConvergenceTest, SteadyStateMatchesSimulator) {
+  MovingHotspotWorkload gen(ShiftingWorkload());
+  auto result =
+      MeasureConvergence(PolicyConfig::LruK(2), gen, FastConvergence());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Steady state should be near the hot-probability ceiling (~0.9).
+  EXPECT_GT(result->steady_state, 0.8);
+  EXPECT_LT(result->steady_state, 0.95);
+  EXPECT_EQ(result->post_shift_windows.size(), 20000u / 500u);
+}
+
+TEST(ConvergenceTest, PoliciesRecoverButLfuDoesNot) {
+  MovingHotspotWorkload gen(ShiftingWorkload());
+  auto lru2 =
+      MeasureConvergence(PolicyConfig::LruK(2), gen, FastConvergence());
+  ASSERT_TRUE(lru2.ok());
+  EXPECT_TRUE(lru2->recovery_refs.has_value());
+  EXPECT_LE(*lru2->recovery_refs, 10000u);
+
+  MovingHotspotWorkload gen2(ShiftingWorkload());
+  auto lfu = MeasureConvergence(PolicyConfig::Lfu(), gen2, FastConvergence());
+  ASSERT_TRUE(lfu.ok());
+  // LFU's cumulative counts freeze the old hot set: no recovery in the
+  // observation horizon.
+  EXPECT_FALSE(lfu->recovery_refs.has_value());
+}
+
+TEST(ConvergenceTest, DeeperHistoryRecoversSlowerInTheFirstWindow) {
+  double first_window[3];
+  int i = 0;
+  for (int k : {1, 2, 4}) {
+    MovingHotspotWorkload gen(ShiftingWorkload());
+    auto result =
+        MeasureConvergence(PolicyConfig::LruK(k), gen, FastConvergence());
+    ASSERT_TRUE(result.ok());
+    ASSERT_FALSE(result->post_shift_windows.empty());
+    first_window[i++] = result->post_shift_windows[0];
+  }
+  EXPECT_GT(first_window[0], first_window[1]);  // LRU > LRU-2 right after.
+  EXPECT_GT(first_window[1], first_window[2]);  // LRU-2 > LRU-4.
+}
+
+}  // namespace
+}  // namespace lruk

@@ -1,0 +1,122 @@
+#include "core/policy_factory.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace lruk {
+namespace {
+
+TEST(PolicyFactoryTest, BuildsEveryContextFreePolicy) {
+  PolicyContext context;
+  for (PolicyKind kind :
+       {PolicyKind::kLru, PolicyKind::kLruK, PolicyKind::kLfu,
+        PolicyKind::kFifo, PolicyKind::kClock, PolicyKind::kGClock,
+        PolicyKind::kLrd, PolicyKind::kMru, PolicyKind::kRandom}) {
+    PolicyConfig config;
+    config.kind = kind;
+    auto policy = MakePolicy(config, context);
+    ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+    EXPECT_FALSE((*policy)->Name().empty());
+  }
+}
+
+TEST(PolicyFactoryTest, LruKConvenienceSetsOptions) {
+  PolicyConfig config = PolicyConfig::LruK(3, /*crp=*/7, /*rip=*/99);
+  EXPECT_EQ(config.lru_k.k, 3);
+  EXPECT_EQ(config.lru_k.correlated_reference_period, 7u);
+  EXPECT_EQ(config.lru_k.retained_information_period, 99u);
+  auto policy = MakePolicy(config, PolicyContext{});
+  ASSERT_TRUE(policy.ok());
+  EXPECT_EQ((*policy)->Name(), "LRU-3");
+}
+
+TEST(PolicyFactoryTest, TwoQTakesCapacityFromContext) {
+  PolicyContext context;
+  context.capacity = 64;
+  auto policy = MakePolicy(PolicyConfig::TwoQ(), context);
+  ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+  EXPECT_EQ((*policy)->Name(), "2Q");
+}
+
+TEST(PolicyFactoryTest, TwoQWithoutCapacityFails) {
+  auto policy = MakePolicy(PolicyConfig::TwoQ(), PolicyContext{});
+  ASSERT_FALSE(policy.ok());
+  EXPECT_EQ(policy.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PolicyFactoryTest, ArcTakesCapacityFromContext) {
+  auto missing = MakePolicy(PolicyConfig::Arc(), PolicyContext{});
+  EXPECT_FALSE(missing.ok());
+  PolicyContext context;
+  context.capacity = 64;
+  auto ok = MakePolicy(PolicyConfig::Arc(), context);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ((*ok)->Name(), "ARC");
+}
+
+TEST(PolicyFactoryTest, DomainSeparationNeedsClassifier) {
+  PolicyConfig config = PolicyConfig::Of(PolicyKind::kDomainSeparation);
+  auto missing = MakePolicy(config, PolicyContext{});
+  EXPECT_FALSE(missing.ok());
+  config.domain_separation.classifier = [](PageId) { return 0u; };
+  config.domain_separation.domain_capacities = {8};
+  auto ok = MakePolicy(config, PolicyContext{});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ((*ok)->Name(), "DOMAIN-SEP");
+}
+
+TEST(PolicyFactoryTest, A0RequiresProbabilities) {
+  auto missing = MakePolicy(PolicyConfig::A0(), PolicyContext{});
+  EXPECT_FALSE(missing.ok());
+  PolicyContext context;
+  context.probabilities = {0.5, 0.5};
+  auto ok = MakePolicy(PolicyConfig::A0(), context);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)->Name(), "A0");
+}
+
+TEST(PolicyFactoryTest, BeladyRequiresTrace) {
+  auto missing = MakePolicy(PolicyConfig::Belady(), PolicyContext{});
+  EXPECT_FALSE(missing.ok());
+  PolicyContext context;
+  context.trace = {1, 2, 3};
+  auto ok = MakePolicy(PolicyConfig::Belady(), context);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)->Name(), "B0");
+}
+
+TEST(ParsePolicyNameTest, RecognizesCanonicalNames) {
+  EXPECT_EQ(ParsePolicyName("LRU")->kind, PolicyKind::kLru);
+  EXPECT_EQ(ParsePolicyName("lru")->kind, PolicyKind::kLru);
+  EXPECT_EQ(ParsePolicyName("LRU-1")->kind, PolicyKind::kLru);
+  EXPECT_EQ(ParsePolicyName("LRU-2")->kind, PolicyKind::kLruK);
+  EXPECT_EQ(ParsePolicyName("LRU-2")->lru_k.k, 2);
+  EXPECT_EQ(ParsePolicyName("lru-10")->lru_k.k, 10);
+  EXPECT_EQ(ParsePolicyName("LFU")->kind, PolicyKind::kLfu);
+  EXPECT_EQ(ParsePolicyName("FIFO")->kind, PolicyKind::kFifo);
+  EXPECT_EQ(ParsePolicyName("CLOCK")->kind, PolicyKind::kClock);
+  EXPECT_EQ(ParsePolicyName("GCLOCK")->kind, PolicyKind::kGClock);
+  EXPECT_EQ(ParsePolicyName("LRD")->kind, PolicyKind::kLrd);
+  EXPECT_EQ(ParsePolicyName("LRD-V2")->lrd.aging_interval, 10000u);
+  EXPECT_EQ(ParsePolicyName("MRU")->kind, PolicyKind::kMru);
+  EXPECT_EQ(ParsePolicyName("RANDOM")->kind, PolicyKind::kRandom);
+  EXPECT_EQ(ParsePolicyName("2Q")->kind, PolicyKind::kTwoQ);
+  EXPECT_EQ(ParsePolicyName("ARC")->kind, PolicyKind::kArc);
+  EXPECT_EQ(ParsePolicyName("arc")->kind, PolicyKind::kArc);
+  EXPECT_EQ(ParsePolicyName("A0")->kind, PolicyKind::kA0);
+  EXPECT_EQ(ParsePolicyName("B0")->kind, PolicyKind::kBelady);
+  EXPECT_EQ(ParsePolicyName("belady")->kind, PolicyKind::kBelady);
+  EXPECT_EQ(ParsePolicyName("OPT")->kind, PolicyKind::kBelady);
+}
+
+TEST(ParsePolicyNameTest, RejectsGarbage) {
+  EXPECT_FALSE(ParsePolicyName("").has_value());
+  EXPECT_FALSE(ParsePolicyName("LRU-").has_value());
+  EXPECT_FALSE(ParsePolicyName("LRU-x").has_value());
+  EXPECT_FALSE(ParsePolicyName("LRU-0").has_value());
+  EXPECT_FALSE(ParsePolicyName("LRU-999").has_value());
+}
+
+}  // namespace
+}  // namespace lruk

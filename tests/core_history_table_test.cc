@@ -1,0 +1,116 @@
+#include "core/history_table.h"
+
+#include "gtest/gtest.h"
+
+namespace lruk {
+namespace {
+
+TEST(HistoryTableTest, CreateAndFind) {
+  HistoryTable table(2, kInfinitePeriod);
+  EXPECT_EQ(table.Find(7), nullptr);
+  bool had = true;
+  HistoryBlock& block = table.GetOrCreate(7, 10, &had);
+  EXPECT_FALSE(had);
+  EXPECT_EQ(block.hist.size(), 2u);
+  EXPECT_EQ(block.HistK(), 0u);
+  EXPECT_EQ(block.Hist1(), 0u);
+  EXPECT_EQ(table.Find(7), &block);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(HistoryTableTest, SecondLookupReportsHistory) {
+  HistoryTable table(3, kInfinitePeriod);
+  bool had = true;
+  table.GetOrCreate(1, 5, &had);
+  EXPECT_FALSE(had);
+  table.GetOrCreate(1, 6, &had);
+  EXPECT_TRUE(had);
+}
+
+TEST(HistoryTableTest, BlockStoresKEntries) {
+  for (int k = 1; k <= 8; ++k) {
+    HistoryTable table(k, kInfinitePeriod);
+    bool had = false;
+    HistoryBlock& block = table.GetOrCreate(1, 1, &had);
+    EXPECT_EQ(block.hist.size(), static_cast<size_t>(k));
+  }
+}
+
+TEST(HistoryTableTest, ExpiryRequiresNonResident) {
+  HistoryTable table(2, /*retained_information_period=*/10);
+  bool had = false;
+  HistoryBlock& block = table.GetOrCreate(1, 1, &had);
+  block.last = 1;
+  block.resident = true;
+  EXPECT_FALSE(table.Expired(block, 100));  // Resident blocks never expire.
+  block.resident = false;
+  EXPECT_FALSE(table.Expired(block, 11));  // Exactly RIP old: still alive.
+  EXPECT_TRUE(table.Expired(block, 12));
+}
+
+TEST(HistoryTableTest, GetOrCreateResetsExpiredBlock) {
+  HistoryTable table(2, /*retained_information_period=*/10);
+  bool had = false;
+  HistoryBlock& block = table.GetOrCreate(1, 1, &had);
+  block.hist = {5, 3};
+  block.last = 5;
+  block.resident = false;
+  HistoryBlock& again = table.GetOrCreate(1, 100, &had);
+  EXPECT_FALSE(had);  // History expired: treated as a fresh page.
+  EXPECT_EQ(again.Hist1(), 0u);
+  EXPECT_EQ(again.HistK(), 0u);
+}
+
+TEST(HistoryTableTest, GetOrCreateKeepsFreshBlock) {
+  HistoryTable table(2, /*retained_information_period=*/100);
+  bool had = false;
+  HistoryBlock& block = table.GetOrCreate(1, 1, &had);
+  block.hist = {5, 3};
+  block.last = 5;
+  block.resident = false;
+  HistoryBlock& again = table.GetOrCreate(1, 50, &had);
+  EXPECT_TRUE(had);
+  EXPECT_EQ(again.Hist1(), 5u);
+  EXPECT_EQ(again.HistK(), 3u);
+}
+
+TEST(HistoryTableTest, PurgeExpiredDropsOnlyStaleNonResident) {
+  HistoryTable table(2, /*retained_information_period=*/10);
+  bool had = false;
+  HistoryBlock& stale = table.GetOrCreate(1, 1, &had);
+  stale.last = 1;
+  stale.resident = false;
+  HistoryBlock& fresh = table.GetOrCreate(2, 95, &had);
+  fresh.last = 95;
+  fresh.resident = false;
+  HistoryBlock& resident = table.GetOrCreate(3, 1, &had);
+  resident.last = 1;
+  resident.resident = true;
+
+  EXPECT_EQ(table.PurgeExpired(100), 1u);
+  EXPECT_EQ(table.Find(1), nullptr);
+  EXPECT_NE(table.Find(2), nullptr);
+  EXPECT_NE(table.Find(3), nullptr);
+}
+
+TEST(HistoryTableTest, InfinitePeriodNeverPurges) {
+  HistoryTable table(2, kInfinitePeriod);
+  bool had = false;
+  HistoryBlock& block = table.GetOrCreate(1, 1, &had);
+  block.last = 1;
+  block.resident = false;
+  EXPECT_EQ(table.PurgeExpired(UINT64_MAX - 1), 0u);
+  EXPECT_NE(table.Find(1), nullptr);
+}
+
+TEST(HistoryTableTest, EraseRemovesBlock) {
+  HistoryTable table(2, kInfinitePeriod);
+  bool had = false;
+  table.GetOrCreate(1, 1, &had);
+  table.Erase(1);
+  EXPECT_EQ(table.Find(1), nullptr);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+}  // namespace
+}  // namespace lruk

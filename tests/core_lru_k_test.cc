@@ -1,0 +1,323 @@
+// Semantics tests for LruKPolicy against hand-executed runs of the paper's
+// Figure 2.1 pseudo-code. Time ticks once per RecordAccess/Admit, starting
+// at 1.
+
+#include "core/lru_k.h"
+
+#include <optional>
+
+#include "gtest/gtest.h"
+
+namespace lruk {
+namespace {
+
+LruKOptions Opts(int k, Timestamp crp = 0,
+                 Timestamp rip = kInfinitePeriod) {
+  LruKOptions o;
+  o.k = k;
+  o.correlated_reference_period = crp;
+  o.retained_information_period = rip;
+  return o;
+}
+
+TEST(LruKTest, NameReflectsK) {
+  EXPECT_EQ(LruKPolicy(Opts(1)).Name(), "LRU-1");
+  EXPECT_EQ(LruKPolicy(Opts(2)).Name(), "LRU-2");
+  EXPECT_EQ(LruKPolicy(Opts(7)).Name(), "LRU-7");
+}
+
+TEST(LruKTest, SubsidiaryLruAmongInfiniteDistances) {
+  // Three pages, one reference each: all have b_t(p,2) = infinity, so the
+  // subsidiary LRU policy must order them by first reference.
+  LruKPolicy policy(Opts(2));
+  policy.Admit(1, AccessType::kRead);
+  policy.Admit(2, AccessType::kRead);
+  policy.Admit(3, AccessType::kRead);
+  EXPECT_EQ(policy.BackwardKDistance(1), std::nullopt);
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(1));
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(2));
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(3));
+  EXPECT_EQ(policy.Evict(), std::nullopt);
+}
+
+TEST(LruKTest, InfiniteDistanceEvictedBeforeFiniteDistance) {
+  // Page 1 gets two references (finite b) while page 2 has one (infinite);
+  // page 2 must go first even though page 1 is older by last reference.
+  LruKPolicy policy(Opts(2));
+  policy.Admit(1, AccessType::kRead);       // t=1
+  policy.Admit(2, AccessType::kRead);       // t=2
+  policy.RecordAccess(1, AccessType::kRead);  // t=3: HIST(1)=[3,1]
+  ASSERT_EQ(policy.BackwardKDistance(1), std::optional<Timestamp>(2));
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(2));
+}
+
+TEST(LruKTest, MaxBackwardKDistanceIsVictim) {
+  LruKPolicy policy(Opts(2));
+  policy.Admit(1, AccessType::kRead);         // t=1
+  policy.Admit(2, AccessType::kRead);         // t=2
+  policy.RecordAccess(1, AccessType::kRead);  // t=3: HIST(1)=[3,1]
+  policy.RecordAccess(2, AccessType::kRead);  // t=4: HIST(2)=[4,2]
+  // b(1,2) = 4-1 = 3 > b(2,2) = 4-2 = 2: page 1 is the victim.
+  EXPECT_EQ(policy.BackwardKDistance(1), std::optional<Timestamp>(3));
+  EXPECT_EQ(policy.BackwardKDistance(2), std::optional<Timestamp>(2));
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(1));
+}
+
+TEST(LruKTest, RecencyOfLastReferenceDoesNotOverrideKDistance) {
+  // The defining difference from LRU: page 2's most recent reference is
+  // newer, but its second-most-recent is older, so page 2 is evicted.
+  LruKPolicy policy(Opts(2));
+  policy.Admit(2, AccessType::kRead);         // t=1
+  policy.RecordAccess(2, AccessType::kRead);  // t=2: HIST(2)=[2,1]
+  policy.Admit(1, AccessType::kRead);         // t=3
+  policy.RecordAccess(1, AccessType::kRead);  // t=4: HIST(1)=[4,3]
+  policy.RecordAccess(2, AccessType::kRead);  // t=5: HIST(2)=[5,2]
+  // b(1,2) = 5-3 = 2; b(2,2) = 5-2 = 3. LRU would evict 1 (older LAST);
+  // LRU-2 must evict 2.
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(2));
+}
+
+TEST(LruKTest, HistoryShiftKeepsKMostRecent) {
+  LruKPolicy policy(Opts(3));
+  policy.Admit(9, AccessType::kRead);  // t=1
+  for (Timestamp t = 2; t <= 5; ++t) {
+    policy.RecordAccess(9, AccessType::kRead);  // t=2..5
+  }
+  const HistoryBlock* block = policy.DebugBlock(9);
+  ASSERT_NE(block, nullptr);
+  // The three most recent of {1,2,3,4,5}.
+  EXPECT_EQ(block->hist[0], 5u);
+  EXPECT_EQ(block->hist[1], 4u);
+  EXPECT_EQ(block->hist[2], 3u);
+  EXPECT_EQ(policy.BackwardKDistance(9), std::optional<Timestamp>(2));
+}
+
+TEST(LruKTest, CorrelatedReferencesOnlyMoveLast) {
+  LruKPolicy policy(Opts(2, /*crp=*/2));
+  policy.Admit(1, AccessType::kRead);         // t=1: HIST=[1,0], LAST=1
+  policy.RecordAccess(1, AccessType::kRead);  // t=2: gap 1 <= 2, correlated
+  const HistoryBlock* block = policy.DebugBlock(1);
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->hist[0], 1u);
+  EXPECT_EQ(block->hist[1], 0u);
+  EXPECT_EQ(block->last, 2u);
+}
+
+TEST(LruKTest, UncorrelatedReferenceCollapsesCorrelationPeriod) {
+  // Figure 2.1: on an uncorrelated reference, earlier history shifts by
+  // the length of the closed correlated period so the burst counts as one
+  // reference with zero width.
+  LruKPolicy policy(Opts(2, /*crp=*/2));
+  policy.Admit(1, AccessType::kRead);         // t=1: HIST=[1,0], LAST=1
+  policy.RecordAccess(1, AccessType::kRead);  // t=2: correlated, LAST=2
+  policy.RecordAccess(1, AccessType::kRead);  // t=3: correlated, LAST=3
+  policy.Admit(2, AccessType::kRead);         // t=4
+  policy.Admit(3, AccessType::kRead);         // t=5
+  policy.RecordAccess(1, AccessType::kRead);  // t=6: gap 3 > 2, uncorrelated
+  const HistoryBlock* block = policy.DebugBlock(1);
+  ASSERT_NE(block, nullptr);
+  // correlation_period = LAST - HIST(1,1) = 3 - 1 = 2;
+  // HIST(1,2) = old HIST(1,1) + 2 = 3; HIST(1,1) = 6.
+  EXPECT_EQ(block->hist[0], 6u);
+  EXPECT_EQ(block->hist[1], 3u);
+  EXPECT_EQ(block->last, 6u);
+  // Interarrival credited: 6 - 3 = 3, the gap between correlation periods.
+  EXPECT_EQ(policy.BackwardKDistance(1), std::optional<Timestamp>(3));
+}
+
+TEST(LruKTest, ShiftNeverFabricatesUnknownEntries) {
+  // K=3 with a nonzero correlation adjustment: the literal Figure 2.1 loop
+  // would set HIST(p,3) = 0 + correlation_period; ours must keep it 0.
+  LruKPolicy policy(Opts(3, /*crp=*/2));
+  policy.Admit(1, AccessType::kRead);         // t=1
+  policy.RecordAccess(1, AccessType::kRead);  // t=2: correlated
+  policy.Admit(2, AccessType::kRead);         // t=3
+  policy.Admit(3, AccessType::kRead);         // t=4
+  policy.RecordAccess(1, AccessType::kRead);  // t=5: uncorrelated, corr=1
+  const HistoryBlock* block = policy.DebugBlock(1);
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->hist[0], 5u);
+  EXPECT_EQ(block->hist[1], 2u);  // 1 + correlation period 1.
+  EXPECT_EQ(block->hist[2], 0u);  // Still unknown.
+  EXPECT_EQ(policy.BackwardKDistance(1), std::nullopt);
+}
+
+TEST(LruKTest, EvictionEligibilityHonorsCorrelatedPeriod) {
+  LruKPolicy policy(Opts(2, /*crp=*/2));
+  policy.Admit(1, AccessType::kRead);  // t=1
+  policy.Admit(2, AccessType::kRead);  // t=2
+  policy.Admit(3, AccessType::kRead);  // t=3
+  policy.Admit(4, AccessType::kRead);  // t=4
+  // Eviction happens at prospective t=5: pages 3 (gap 2) and 4 (gap 1) are
+  // inside the correlated period; among eligible {1,2} subsidiary LRU
+  // picks 1.
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(1));
+  EXPECT_EQ(policy.fallback_evictions(), 0u);
+}
+
+TEST(LruKTest, FallbackEvictionWhenNoPageEligible) {
+  LruKPolicy policy(Opts(2, /*crp=*/10));
+  policy.Admit(1, AccessType::kRead);  // t=1
+  policy.Admit(2, AccessType::kRead);  // t=2
+  // Prospective t=3: both pages are within the CRP. The paper's loop finds
+  // nothing; we must still free a slot and count the fallback.
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(1));
+  EXPECT_EQ(policy.fallback_evictions(), 1u);
+}
+
+TEST(LruKTest, HistoryRetainedPastResidence) {
+  LruKPolicy policy(Opts(2));
+  policy.Admit(1, AccessType::kRead);  // t=1
+  ASSERT_EQ(policy.Evict(), std::optional<PageId>(1));
+  EXPECT_FALSE(policy.IsResident(1));
+  EXPECT_EQ(policy.HistorySize(), 1u);  // Block survives the eviction.
+
+  policy.Admit(2, AccessType::kRead);  // t=2
+  policy.Admit(1, AccessType::kRead);  // t=3: history shift -> HIST=[3,1]
+  const HistoryBlock* block = policy.DebugBlock(1);
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->hist[0], 3u);
+  EXPECT_EQ(block->hist[1], 1u);
+  // Page 1 now has finite b (=2) while page 2 is infinite: 2 is evicted,
+  // which is exactly the behavior the Retained Information Problem section
+  // motivates.
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(2));
+}
+
+TEST(LruKTest, RetainedInformationPeriodExpiresHistory) {
+  // RIP = 3 ticks; after eviction at t=1, re-admitting at t=6 is too late:
+  // the page must look brand new (infinite distance).
+  LruKOptions options = Opts(2, 0, /*rip=*/3);
+  options.purge_interval = 0;  // Exercise the lazy (GetOrCreate) path.
+  LruKPolicy policy(options);
+  policy.Admit(1, AccessType::kRead);  // t=1
+  ASSERT_TRUE(policy.Evict().has_value());
+  policy.Admit(10, AccessType::kRead);  // t=2
+  policy.Admit(11, AccessType::kRead);  // t=3
+  policy.Admit(12, AccessType::kRead);  // t=4
+  policy.Admit(13, AccessType::kRead);  // t=5
+  policy.Admit(1, AccessType::kRead);   // t=6: 6-1 > 3, history expired
+  const HistoryBlock* block = policy.DebugBlock(1);
+  ASSERT_NE(block, nullptr);
+  EXPECT_EQ(block->hist[0], 6u);
+  EXPECT_EQ(block->hist[1], 0u);  // No second reference known.
+  EXPECT_EQ(policy.BackwardKDistance(1), std::nullopt);
+}
+
+TEST(LruKTest, ReAdmissionWithinRipKeepsHistory) {
+  LruKOptions options = Opts(2, 0, /*rip=*/100);
+  LruKPolicy policy(options);
+  policy.Admit(1, AccessType::kRead);  // t=1
+  ASSERT_TRUE(policy.Evict().has_value());
+  policy.Admit(2, AccessType::kRead);  // t=2
+  policy.Admit(1, AccessType::kRead);  // t=3: within RIP
+  EXPECT_EQ(policy.BackwardKDistance(1), std::optional<Timestamp>(2));
+}
+
+TEST(LruKTest, PurgeHistoryDropsExpiredBlocks) {
+  LruKOptions options = Opts(2, 0, /*rip=*/2);
+  options.purge_interval = 0;
+  LruKPolicy policy(options);
+  policy.Admit(1, AccessType::kRead);  // t=1
+  ASSERT_TRUE(policy.Evict().has_value());
+  policy.Admit(2, AccessType::kRead);  // t=2
+  policy.Admit(3, AccessType::kRead);  // t=3
+  policy.Admit(4, AccessType::kRead);  // t=4
+  EXPECT_EQ(policy.HistorySize(), 4u);
+  // Page 1's block (last=1) is stale at t=4; resident pages are immune.
+  EXPECT_EQ(policy.PurgeHistory(), 1u);
+  EXPECT_EQ(policy.HistorySize(), 3u);
+  EXPECT_EQ(policy.DebugBlock(1), nullptr);
+}
+
+TEST(LruKTest, AutomaticDemonPurges) {
+  LruKOptions options = Opts(2, 0, /*rip=*/1);
+  options.purge_interval = 4;  // Demon runs when time % 4 == 0.
+  LruKPolicy policy(options);
+  policy.Admit(1, AccessType::kRead);  // t=1
+  ASSERT_TRUE(policy.Evict().has_value());
+  policy.Admit(2, AccessType::kRead);  // t=2
+  policy.Admit(3, AccessType::kRead);  // t=3
+  EXPECT_EQ(policy.HistorySize(), 3u);
+  policy.Admit(4, AccessType::kRead);  // t=4: demon fires, page 1 purged.
+  EXPECT_EQ(policy.DebugBlock(1), nullptr);
+}
+
+TEST(LruKTest, PinnedPagesAreNotVictims) {
+  LruKPolicy policy(Opts(2));
+  policy.Admit(1, AccessType::kRead);
+  policy.Admit(2, AccessType::kRead);
+  policy.SetEvictable(1, false);
+  EXPECT_EQ(policy.EvictableCount(), 1u);
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(2));
+  EXPECT_EQ(policy.Evict(), std::nullopt);
+  policy.SetEvictable(1, true);
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(1));
+}
+
+TEST(LruKTest, RemoveErasesHistory) {
+  LruKPolicy policy(Opts(2));
+  policy.Admit(1, AccessType::kRead);
+  policy.RecordAccess(1, AccessType::kRead);
+  policy.Remove(1);
+  EXPECT_FALSE(policy.IsResident(1));
+  EXPECT_EQ(policy.HistorySize(), 0u);
+  EXPECT_EQ(policy.DebugBlock(1), nullptr);
+}
+
+TEST(LruKTest, CountsStayConsistent) {
+  LruKPolicy policy(Opts(2));
+  policy.Admit(1, AccessType::kRead);
+  policy.Admit(2, AccessType::kRead);
+  policy.Admit(3, AccessType::kRead);
+  EXPECT_EQ(policy.ResidentCount(), 3u);
+  EXPECT_EQ(policy.EvictableCount(), 3u);
+  policy.SetEvictable(2, false);
+  EXPECT_EQ(policy.EvictableCount(), 2u);
+  policy.Evict();
+  EXPECT_EQ(policy.ResidentCount(), 2u);
+  EXPECT_EQ(policy.EvictableCount(), 1u);
+  policy.Remove(2);
+  EXPECT_EQ(policy.ResidentCount(), 1u);
+  EXPECT_EQ(policy.EvictableCount(), 1u);
+}
+
+TEST(LruKTest, CurrentTimeCountsAllReferences) {
+  LruKPolicy policy(Opts(2, /*crp=*/5));
+  policy.Admit(1, AccessType::kRead);
+  policy.RecordAccess(1, AccessType::kRead);  // Correlated, still a tick.
+  policy.RecordAccess(1, AccessType::kRead);
+  EXPECT_EQ(policy.CurrentTime(), 3u);
+}
+
+TEST(LruKTest, EvictDoesNotTickClock) {
+  LruKPolicy policy(Opts(2));
+  policy.Admit(1, AccessType::kRead);
+  policy.Evict();
+  EXPECT_EQ(policy.CurrentTime(), 1u);
+}
+
+TEST(LruKTest, K1BehavesAsClassicalLruOnBasicSequence) {
+  LruKPolicy policy(Opts(1));
+  policy.Admit(1, AccessType::kRead);
+  policy.Admit(2, AccessType::kRead);
+  policy.Admit(3, AccessType::kRead);
+  policy.RecordAccess(1, AccessType::kRead);
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(2));
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(3));
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(1));
+}
+
+TEST(LruKTest, LinearScanModeMatchesBasicScenario) {
+  LruKOptions options = Opts(2);
+  options.use_linear_scan = true;
+  LruKPolicy policy(options);
+  policy.Admit(1, AccessType::kRead);
+  policy.Admit(2, AccessType::kRead);
+  policy.RecordAccess(1, AccessType::kRead);
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(2));
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(1));
+}
+
+}  // namespace
+}  // namespace lruk

@@ -1,0 +1,64 @@
+#include "sim/cost_model.h"
+
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+
+namespace lruk {
+namespace {
+
+TEST(ExpectedCostTest, EmptyBufferCostsEverything) {
+  std::vector<double> probs = {0.5, 0.3, 0.2};
+  EXPECT_DOUBLE_EQ(ExpectedCost(probs, {}), 1.0);
+}
+
+TEST(ExpectedCostTest, FullCoverageCostsNothing) {
+  std::vector<double> probs = {0.5, 0.3, 0.2};
+  std::unordered_set<PageId> resident = {0, 1, 2};
+  EXPECT_NEAR(ExpectedCost(probs, resident), 0.0, 1e-12);
+}
+
+TEST(ExpectedCostTest, PartialCoverage) {
+  std::vector<double> probs = {0.5, 0.3, 0.2};
+  std::unordered_set<PageId> resident = {0};
+  EXPECT_NEAR(ExpectedCost(probs, resident), 0.5, 1e-12);
+}
+
+TEST(ExpectedCostTest, UnknownPagesContributeZero) {
+  std::vector<double> probs = {0.5, 0.5};
+  std::unordered_set<PageId> resident = {0, 77};
+  EXPECT_NEAR(ExpectedCost(probs, resident), 0.5, 1e-12);
+}
+
+TEST(FiveMinuteRuleTest, Classic1987ParametersGiveAbout100Seconds) {
+  // [GRAYPUT]: $2000/arm at 15 accesses/sec, $5/KB memory, 4KB pages
+  // => break-even interarrival ~ 100s-400s ("five minutes").
+  double seconds = FiveMinuteRuleBreakEvenSeconds();
+  EXPECT_GT(seconds, 30.0);
+  EXPECT_LT(seconds, 500.0);
+}
+
+TEST(FiveMinuteRuleTest, CheaperMemoryLengthensBreakEven) {
+  FiveMinuteRuleParams cheap;
+  cheap.memory_price_per_mb /= 10.0;
+  EXPECT_GT(FiveMinuteRuleBreakEvenSeconds(cheap),
+            FiveMinuteRuleBreakEvenSeconds());
+}
+
+TEST(FiveMinuteRuleTest, FasterDisksShortenBreakEven) {
+  FiveMinuteRuleParams fast;
+  fast.disk_accesses_per_second *= 10.0;
+  EXPECT_LT(FiveMinuteRuleBreakEvenSeconds(fast),
+            FiveMinuteRuleBreakEvenSeconds());
+}
+
+TEST(RetainedInformationTest, ScalesLinearlyWithK) {
+  // Section 2.1.2: RIP ~ 2x the break-even period for LRU-2.
+  double base = FiveMinuteRuleBreakEvenSeconds();
+  EXPECT_NEAR(SuggestedRetainedInformationSeconds(1), base, 1e-9);
+  EXPECT_NEAR(SuggestedRetainedInformationSeconds(2), 2 * base, 1e-9);
+  EXPECT_NEAR(SuggestedRetainedInformationSeconds(5), 5 * base, 1e-9);
+}
+
+}  // namespace
+}  // namespace lruk

@@ -1,0 +1,113 @@
+#include "sim/equi_effective.h"
+
+#include "gtest/gtest.h"
+#include "workload/two_pool.h"
+#include "workload/zipfian_workload.h"
+
+namespace lruk {
+namespace {
+
+SimOptions FastSim(size_t capacity) {
+  SimOptions sim;
+  sim.capacity = capacity;
+  sim.warmup_refs = 2000;
+  sim.measure_refs = 8000;
+  sim.track_classes = false;
+  return sim;
+}
+
+TEST(FindCapacityTest, TargetZeroIsSatisfiedImmediately) {
+  ZipfianOptions zopt;
+  zopt.num_pages = 200;
+  ZipfianWorkload gen(zopt);
+  auto capacity =
+      FindCapacityForHitRatio(PolicyConfig::Lru(), gen, FastSim(1), 0.0);
+  ASSERT_TRUE(capacity.ok());
+  EXPECT_DOUBLE_EQ(*capacity, 1.0);
+}
+
+TEST(FindCapacityTest, FindsCapacityReachingTarget) {
+  ZipfianOptions zopt;
+  zopt.num_pages = 200;
+  ZipfianWorkload gen(zopt);
+  SimOptions sim = FastSim(1);
+  auto capacity =
+      FindCapacityForHitRatio(PolicyConfig::Lru(), gen, sim, 0.5);
+  ASSERT_TRUE(capacity.ok());
+  // Verify: the found capacity (rounded up) really reaches ~0.5.
+  sim.capacity = static_cast<size_t>(*capacity + 1.0);
+  auto at = SimulatePolicy(PolicyConfig::Lru(), gen, sim);
+  ASSERT_TRUE(at.ok());
+  EXPECT_GE(at->HitRatio(), 0.49);
+}
+
+TEST(FindCapacityTest, UnreachableTargetReturnsMax) {
+  ZipfianOptions zopt;
+  zopt.num_pages = 200;
+  ZipfianWorkload gen(zopt);
+  EquiEffectiveOptions options;
+  options.max_capacity = 16;
+  auto capacity = FindCapacityForHitRatio(PolicyConfig::Lru(), gen,
+                                          FastSim(1), 0.99, options);
+  ASSERT_TRUE(capacity.ok());
+  EXPECT_DOUBLE_EQ(*capacity, 16.0);
+}
+
+TEST(EquiEffectiveRatioTest, Lru2BeatsLru1OnTwoPool) {
+  // The paper's headline claim: on the two-pool workload B(1)/B(2) is
+  // roughly 2-3x at small buffer sizes.
+  TwoPoolOptions topt;
+  topt.n1 = 50;
+  topt.n2 = 5000;
+  TwoPoolWorkload gen(topt);
+  SimOptions sim = FastSim(40);
+  sim.warmup_refs = 5000;
+  sim.measure_refs = 15000;
+  auto ratio = EquiEffectiveRatio(PolicyConfig::Lru(), PolicyConfig::LruK(2),
+                                  gen, sim);
+  ASSERT_TRUE(ratio.ok()) << ratio.status().ToString();
+  EXPECT_GT(*ratio, 1.5);
+  EXPECT_LT(*ratio, 8.0);
+}
+
+TEST(InterpolateCurveTest, ExactPointsAndMidpoints) {
+  std::vector<size_t> caps = {10, 20, 40};
+  std::vector<double> ratios = {0.1, 0.3, 0.5};
+  EXPECT_DOUBLE_EQ(*InterpolateCapacityForHitRatio(caps, ratios, 0.3), 20.0);
+  EXPECT_DOUBLE_EQ(*InterpolateCapacityForHitRatio(caps, ratios, 0.2), 15.0);
+  EXPECT_DOUBLE_EQ(*InterpolateCapacityForHitRatio(caps, ratios, 0.4), 30.0);
+}
+
+TEST(InterpolateCurveTest, BelowAndAboveRange) {
+  std::vector<size_t> caps = {10, 20};
+  std::vector<double> ratios = {0.1, 0.3};
+  // Already satisfied at the smallest capacity.
+  EXPECT_DOUBLE_EQ(*InterpolateCapacityForHitRatio(caps, ratios, 0.05),
+                   10.0);
+  // Unreachable on the measured curve.
+  EXPECT_FALSE(InterpolateCapacityForHitRatio(caps, ratios, 0.9).has_value());
+}
+
+TEST(InterpolateCurveTest, ToleratesFlatAndDippingSegments) {
+  std::vector<size_t> caps = {10, 20, 30, 40};
+  std::vector<double> ratios = {0.1, 0.3, 0.29, 0.6};  // Noise dip at 30.
+  // First crossing of 0.3 is exactly at capacity 20.
+  EXPECT_DOUBLE_EQ(*InterpolateCapacityForHitRatio(caps, ratios, 0.3), 20.0);
+  // 0.5 is crossed between 30 and 40.
+  double c = *InterpolateCapacityForHitRatio(caps, ratios, 0.5);
+  EXPECT_GT(c, 30.0);
+  EXPECT_LT(c, 40.0);
+}
+
+TEST(EquiEffectiveRatioTest, PolicyAgainstItselfIsAboutOne) {
+  ZipfianOptions zopt;
+  zopt.num_pages = 300;
+  ZipfianWorkload gen(zopt);
+  auto ratio = EquiEffectiveRatio(PolicyConfig::Lru(), PolicyConfig::Lru(),
+                                  gen, FastSim(50));
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_NEAR(*ratio, 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace lruk

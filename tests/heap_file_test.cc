@@ -1,0 +1,226 @@
+#include "heap/heap_file.h"
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/lru.h"
+#include "core/lru_k.h"
+#include "gtest/gtest.h"
+#include "storage/sim_disk_manager.h"
+#include "util/random.h"
+
+namespace lruk {
+namespace {
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  HeapFileTest() : pool_(64, &disk_, std::make_unique<LruPolicy>()) {}
+
+  SimDiskManager disk_;
+  BufferPool pool_;
+};
+
+TEST_F(HeapFileTest, InsertGetRoundTrip) {
+  HeapFile heap(&pool_);
+  auto rid = heap.Insert("hello records");
+  ASSERT_TRUE(rid.ok()) << rid.status().ToString();
+  auto got = heap.Get(*rid);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "hello records");
+  EXPECT_EQ(heap.Size(), 1u);
+}
+
+TEST_F(HeapFileTest, RejectsBadSizes) {
+  HeapFile heap(&pool_);
+  EXPECT_FALSE(heap.Insert("").ok());
+  std::string huge(HeapFile::MaxRecordSize() + 1, 'x');
+  EXPECT_FALSE(heap.Insert(huge).ok());
+  std::string max(HeapFile::MaxRecordSize(), 'y');
+  EXPECT_TRUE(heap.Insert(max).ok());
+}
+
+TEST_F(HeapFileTest, ChainsAcrossPages) {
+  HeapFile heap(&pool_);
+  // 2000-byte customer rows (Example 1.1): two per 4 KiB page.
+  std::vector<RecordId> rids;
+  for (int i = 0; i < 100; ++i) {
+    std::string row(2000, static_cast<char>('a' + i % 26));
+    auto rid = heap.Insert(row);
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  auto pages = heap.CountPages();
+  ASSERT_TRUE(pages.ok());
+  EXPECT_EQ(*pages, 50u);  // Exactly two rows per page.
+  for (int i = 0; i < 100; ++i) {
+    auto got = heap.Get(rids[i]);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ((*got)[0], static_cast<char>('a' + i % 26));
+    EXPECT_EQ(got->size(), 2000u);
+  }
+}
+
+TEST_F(HeapFileTest, DeleteTombstonesAndReusesSlot) {
+  HeapFile heap(&pool_);
+  auto a = heap.Insert("aaaa");
+  auto b = heap.Insert("bbbb");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(heap.Delete(*a).ok());
+  EXPECT_FALSE(heap.Get(*a).ok());
+  EXPECT_EQ(heap.Size(), 1u);
+  EXPECT_EQ(heap.Delete(*a).code(), StatusCode::kNotFound);
+
+  auto c = heap.Insert("cccc");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->page, a->page);
+  EXPECT_EQ(c->slot, a->slot);  // Tombstoned slot id reused.
+  EXPECT_EQ(*heap.Get(*c), "cccc");
+  EXPECT_EQ(*heap.Get(*b), "bbbb");
+}
+
+TEST_F(HeapFileTest, CompactionReclaimsDeletedSpace) {
+  HeapFile heap(&pool_);
+  // Fill one page with four ~1000-byte records, delete two, then insert a
+  // 1900-byte record: only compaction makes it fit in the same page.
+  std::vector<RecordId> rids;
+  for (int i = 0; i < 4; ++i) {
+    auto rid = heap.Insert(std::string(1000, static_cast<char>('0' + i)));
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  ASSERT_EQ(*heap.CountPages(), 1u);
+  ASSERT_TRUE(heap.Delete(rids[0]).ok());
+  ASSERT_TRUE(heap.Delete(rids[2]).ok());
+  auto big = heap.Insert(std::string(1900, 'Z'));
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(*heap.CountPages(), 1u) << "compaction should have made room";
+  EXPECT_EQ(heap.Get(*big)->size(), 1900u);
+  EXPECT_EQ((*heap.Get(rids[1]))[0], '1');
+  EXPECT_EQ((*heap.Get(rids[3]))[0], '3');
+}
+
+TEST_F(HeapFileTest, UpdateInPlaceAndGrowing) {
+  HeapFile heap(&pool_);
+  auto rid = heap.Insert("short");
+  ASSERT_TRUE(rid.ok());
+  ASSERT_TRUE(heap.Update(*rid, "tiny").ok());  // Shrink in place.
+  EXPECT_EQ(*heap.Get(*rid), "tiny");
+  ASSERT_TRUE(heap.Update(*rid, std::string(500, 'g')).ok());  // Grow.
+  EXPECT_EQ(heap.Get(*rid)->size(), 500u);
+  EXPECT_EQ(heap.Size(), 1u);
+  // Growing beyond the page fails cleanly and preserves the record.
+  std::string too_big(HeapFile::MaxRecordSize(), 'x');
+  auto filler = heap.Insert(std::string(3000, 'f'));
+  (void)filler;
+  Status status = heap.Update(*rid, too_big);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(heap.Get(*rid)->size(), 500u);
+}
+
+TEST_F(HeapFileTest, ScanVisitsLiveRecordsInChainOrder) {
+  HeapFile heap(&pool_);
+  std::vector<RecordId> rids;
+  for (int i = 0; i < 20; ++i) {
+    auto rid = heap.Insert(std::string(700, static_cast<char>('A' + i)));
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  ASSERT_TRUE(heap.Delete(rids[3]).ok());
+  ASSERT_TRUE(heap.Delete(rids[7]).ok());
+
+  int seen = 0;
+  char last = 0;
+  ASSERT_TRUE(heap.Scan([&](RecordId rid, std::string_view record) {
+                    EXPECT_NE(rid, rids[3]);
+                    EXPECT_NE(rid, rids[7]);
+                    EXPECT_GE(record[0], last);  // Chain order ascending.
+                    last = record[0];
+                    ++seen;
+                    return true;
+                  }).ok());
+  EXPECT_EQ(seen, 18);
+
+  // Early stop.
+  seen = 0;
+  ASSERT_TRUE(heap.Scan([&](RecordId, std::string_view) {
+                    return ++seen < 5;
+                  }).ok());
+  EXPECT_EQ(seen, 5);
+}
+
+TEST_F(HeapFileTest, ReattachRecoversSizeAndTail) {
+  PageId head;
+  RecordId keep;
+  {
+    HeapFile heap(&pool_);
+    for (int i = 0; i < 10; ++i) {
+      auto rid = heap.Insert(std::string(1500, 'r'));
+      ASSERT_TRUE(rid.ok());
+      if (i == 4) keep = *rid;
+    }
+    ASSERT_TRUE(heap.Delete(keep).ok());
+    head = heap.HeadPageId();
+  }
+  HeapFile reattached(&pool_, head);
+  EXPECT_EQ(reattached.Size(), 9u);
+  EXPECT_FALSE(reattached.Get(keep).ok());
+  // Inserting still works and lands on the tail.
+  auto rid = reattached.Insert("after reattach");
+  ASSERT_TRUE(rid.ok());
+  EXPECT_EQ(*reattached.Get(*rid), "after reattach");
+}
+
+TEST_F(HeapFileTest, RandomizedAgainstModel) {
+  SimDiskManager disk;
+  BufferPool small_pool(8, &disk, std::make_unique<LruKPolicy>(LruKOptions{}));
+  HeapFile heap(&small_pool);
+  std::map<uint64_t, std::string> model;  // Packed rid -> payload.
+  RandomEngine rng(31415);
+
+  for (int step = 0; step < 2000; ++step) {
+    double action = rng.NextDouble();
+    if (action < 0.5) {
+      std::string payload(1 + rng.NextBounded(600), 'a');
+      for (auto& c : payload) {
+        c = static_cast<char>('a' + rng.NextBounded(26));
+      }
+      auto rid = heap.Insert(payload);
+      ASSERT_TRUE(rid.ok());
+      model[rid->Pack()] = payload;
+    } else if (action < 0.75 && !model.empty()) {
+      auto it = model.begin();
+      std::advance(it, rng.NextBounded(model.size()));
+      ASSERT_TRUE(heap.Delete(RecordId::Unpack(it->first)).ok());
+      model.erase(it);
+    } else if (!model.empty()) {
+      auto it = model.begin();
+      std::advance(it, rng.NextBounded(model.size()));
+      auto got = heap.Get(RecordId::Unpack(it->first));
+      ASSERT_TRUE(got.ok());
+      ASSERT_EQ(*got, it->second);
+    }
+    ASSERT_EQ(heap.Size(), model.size());
+  }
+  // Full verification by scan.
+  uint64_t live = 0;
+  ASSERT_TRUE(heap.Scan([&](RecordId rid, std::string_view record) {
+                    auto it = model.find(rid.Pack());
+                    EXPECT_NE(it, model.end());
+                    if (it != model.end()) {
+                      EXPECT_EQ(record, it->second);
+                    }
+                    ++live;
+                    return true;
+                  }).ok());
+  EXPECT_EQ(live, model.size());
+}
+
+TEST(RecordIdTest, PackUnpackRoundTrip) {
+  RecordId rid{123456, 789};
+  RecordId back = RecordId::Unpack(rid.Pack());
+  EXPECT_EQ(back, rid);
+}
+
+}  // namespace
+}  // namespace lruk

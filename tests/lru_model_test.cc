@@ -1,0 +1,151 @@
+#include "analysis/lru_model.h"
+
+#include <vector>
+
+#include "core/policy_factory.h"
+#include "gtest/gtest.h"
+#include "sim/simulator.h"
+#include "workload/two_pool.h"
+#include "workload/zipfian_workload.h"
+
+namespace lruk {
+namespace {
+
+TEST(A0HitRatioTest, SumsLargestProbabilities) {
+  std::vector<double> beta = {0.1, 0.4, 0.2, 0.3};
+  EXPECT_DOUBLE_EQ(A0HitRatio(beta, 1), 0.4);
+  EXPECT_DOUBLE_EQ(A0HitRatio(beta, 2), 0.7);
+  EXPECT_DOUBLE_EQ(A0HitRatio(beta, 4), 1.0);
+  EXPECT_DOUBLE_EQ(A0HitRatio(beta, 9), 1.0);
+}
+
+TEST(LruModelTest, UniformProbabilitiesGiveBOverN) {
+  // Under uniform IRM, LRU holds an arbitrary B of N pages: hit = B/N.
+  std::vector<double> beta(100, 0.01);
+  EXPECT_NEAR(DanTowsleyLruHitRatio(beta, 25), 0.25, 1e-9);
+  EXPECT_NEAR(CheLruHitRatio(beta, 25), 0.25, 1e-6);
+}
+
+TEST(LruModelTest, FullBufferIsPerfect) {
+  std::vector<double> beta = {0.5, 0.3, 0.2};
+  EXPECT_DOUBLE_EQ(DanTowsleyLruHitRatio(beta, 3), 1.0);
+  EXPECT_DOUBLE_EQ(CheLruHitRatio(beta, 3), 1.0);
+}
+
+TEST(LruModelTest, MonotoneInBuffers) {
+  std::vector<double> beta;
+  for (int i = 1; i <= 50; ++i) beta.push_back(1.0 / i);
+  double total = 0.0;
+  for (double b : beta) total += b;
+  for (double& b : beta) b /= total;
+
+  double prev_dt = 0.0;
+  double prev_che = 0.0;
+  for (size_t buffers = 1; buffers <= 50; ++buffers) {
+    double dt = DanTowsleyLruHitRatio(beta, buffers);
+    double che = CheLruHitRatio(beta, buffers);
+    EXPECT_GE(dt, prev_dt - 1e-12) << buffers;
+    EXPECT_GE(che, prev_che - 1e-9) << buffers;
+    prev_dt = dt;
+    prev_che = che;
+  }
+}
+
+TEST(LruModelTest, BoundedByA0) {
+  // No online policy beats A0 under IRM; the models must respect that.
+  ZipfianOptions options;
+  options.num_pages = 200;
+  ZipfianWorkload gen(options);
+  auto beta = *gen.Probabilities();
+  for (size_t buffers : {10u, 50u, 120u}) {
+    double a0 = A0HitRatio(beta, buffers);
+    EXPECT_LE(DanTowsleyLruHitRatio(beta, buffers), a0 + 1e-9);
+    EXPECT_LE(CheLruHitRatio(beta, buffers), a0 + 1e-9);
+  }
+}
+
+TEST(CheLruKTest, K1ReducesToCheLru) {
+  ZipfianOptions options;
+  options.num_pages = 200;
+  ZipfianWorkload gen(options);
+  auto beta = *gen.Probabilities();
+  for (size_t buffers : {10u, 60u, 150u}) {
+    EXPECT_NEAR(CheLruKHitRatio(beta, 1, buffers),
+                CheLruHitRatio(beta, buffers), 1e-9)
+        << buffers;
+  }
+}
+
+TEST(CheLruKTest, MatchesSimulatedLruK) {
+  TwoPoolOptions topt;
+  topt.n1 = 100;
+  topt.n2 = 10000;
+  topt.seed = 77;
+  TwoPoolWorkload gen(topt);
+  auto beta = *gen.Probabilities();
+  SimOptions sim;
+  sim.warmup_refs = 10000;
+  sim.measure_refs = 60000;
+  sim.track_classes = false;
+  for (int k : {2, 3}) {
+    for (size_t buffers : {60u, 100u, 200u}) {
+      sim.capacity = buffers;
+      auto simulated = SimulatePolicy(PolicyConfig::LruK(k), gen, sim);
+      ASSERT_TRUE(simulated.ok());
+      EXPECT_NEAR(CheLruKHitRatio(beta, k, buffers),
+                  simulated->HitRatio(), 0.01)
+          << "K=" << k << " B=" << buffers;
+    }
+  }
+}
+
+TEST(CheLruKTest, LargerKApproachesA0) {
+  // Deeper history sharpens the resident-set selection toward A0 (the
+  // paper's "LRU-K approaches A0 with increasing value of K").
+  TwoPoolOptions topt;
+  topt.n1 = 50;
+  topt.n2 = 5000;
+  TwoPoolWorkload gen(topt);
+  auto beta = *gen.Probabilities();
+  size_t buffers = 55;
+  double a0 = A0HitRatio(beta, buffers);
+  double prev_gap = 1.0;
+  for (int k : {1, 2, 3, 5, 8}) {
+    double gap = a0 - CheLruKHitRatio(beta, k, buffers);
+    EXPECT_GE(gap, -1e-9) << k;
+    EXPECT_LE(gap, prev_gap + 1e-9) << k;
+    prev_gap = gap;
+  }
+}
+
+TEST(LruModelTest, MatchesSimulatedLruOnZipf) {
+  ZipfianOptions options;
+  options.num_pages = 300;
+  options.seed = 404;
+  ZipfianWorkload gen(options);
+  auto beta = *gen.Probabilities();
+  SimOptions sim;
+  sim.capacity = 60;
+  sim.warmup_refs = 5000;
+  sim.measure_refs = 60000;
+  sim.track_classes = false;
+  auto simulated = SimulatePolicy(PolicyConfig::Lru(), gen, sim);
+  ASSERT_TRUE(simulated.ok());
+  EXPECT_NEAR(DanTowsleyLruHitRatio(beta, 60), simulated->HitRatio(), 0.01);
+  EXPECT_NEAR(CheLruHitRatio(beta, 60), simulated->HitRatio(), 0.01);
+}
+
+TEST(LruModelTest, TwoModelsAgreeWithEachOther) {
+  ZipfianOptions options;
+  options.num_pages = 500;
+  ZipfianWorkload gen(options);
+  auto beta = *gen.Probabilities();
+  for (size_t buffers : {20u, 100u, 300u}) {
+    EXPECT_NEAR(DanTowsleyLruHitRatio(beta, buffers),
+                CheLruHitRatio(beta, buffers), 0.01)
+        << buffers;
+  }
+}
+
+}  // namespace
+}  // namespace lruk

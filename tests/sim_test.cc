@@ -1,0 +1,232 @@
+// Simulator tests: methodology (warmup vs measurement), hit accounting,
+// class statistics, oracle-context plumbing, and the qualitative hit-ratio
+// orderings the paper's analysis predicts.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/lru.h"
+#include "gtest/gtest.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+#include "sim/table.h"
+#include "workload/sequential.h"
+#include "workload/two_pool.h"
+#include "workload/uniform_workload.h"
+#include "workload/zipfian_workload.h"
+
+namespace lruk {
+namespace {
+
+TEST(SimulatorTest, AllHitsWhenBufferHoldsEverything) {
+  UniformOptions uopt;
+  uopt.num_pages = 10;
+  UniformWorkload gen(uopt);
+  LruPolicy lru;
+  SimOptions sim;
+  sim.capacity = 10;
+  sim.warmup_refs = 100;  // Enough to fault all 10 pages in.
+  sim.measure_refs = 1000;
+  SimResult result = RunSimulation(lru, gen, sim);
+  EXPECT_EQ(result.misses, 0u);
+  EXPECT_DOUBLE_EQ(result.HitRatio(), 1.0);
+  EXPECT_EQ(result.evictions, 0u);
+}
+
+TEST(SimulatorTest, SequentialScanWithLruNeverHits) {
+  // The classic LRU pathology: a cyclic scan one page larger than the
+  // buffer yields a 0% hit ratio.
+  SequentialScanOptions sopt;
+  sopt.num_pages = 101;
+  SequentialScanWorkload gen(sopt);
+  LruPolicy lru;
+  SimOptions sim;
+  sim.capacity = 100;
+  sim.warmup_refs = 500;
+  sim.measure_refs = 1000;
+  SimResult result = RunSimulation(lru, gen, sim);
+  EXPECT_EQ(result.hits, 0u);
+  EXPECT_DOUBLE_EQ(result.HitRatio(), 0.0);
+}
+
+TEST(SimulatorTest, MeasurementExcludesWarmup) {
+  UniformOptions uopt;
+  uopt.num_pages = 10;
+  UniformWorkload gen(uopt);
+  LruPolicy lru;
+  SimOptions sim;
+  sim.capacity = 10;
+  sim.warmup_refs = 0;  // Cold start: the compulsory misses are measured.
+  sim.measure_refs = 1000;
+  SimResult cold = RunSimulation(lru, gen, sim);
+  EXPECT_GE(cold.misses, 10u);  // At least the compulsory misses.
+  EXPECT_EQ(cold.hits + cold.misses, 1000u);
+}
+
+TEST(SimulatorTest, ClassStatsPartitionMeasuredReferences) {
+  TwoPoolOptions topt;
+  topt.n1 = 10;
+  topt.n2 = 100;
+  TwoPoolWorkload gen(topt);
+  LruPolicy lru;
+  SimOptions sim;
+  sim.capacity = 20;
+  sim.warmup_refs = 200;
+  sim.measure_refs = 2000;
+  SimResult result = RunSimulation(lru, gen, sim);
+  ASSERT_EQ(result.classes.size(), 2u);
+  EXPECT_EQ(result.classes[0].name, "pool1(hot)");
+  EXPECT_EQ(result.classes[0].refs + result.classes[1].refs, 2000u);
+  EXPECT_EQ(result.classes[0].hits + result.classes[1].hits, result.hits);
+  // Strict alternation: exactly half the references per pool.
+  EXPECT_EQ(result.classes[0].refs, 1000u);
+  // Final composition covers the full buffer.
+  EXPECT_EQ(result.classes[0].resident_at_end +
+                result.classes[1].resident_at_end,
+            20u);
+}
+
+TEST(SimulatorTest, SimulatePolicyIsDeterministic) {
+  ZipfianOptions zopt;
+  zopt.num_pages = 200;
+  ZipfianWorkload gen(zopt);
+  SimOptions sim;
+  sim.capacity = 30;
+  sim.warmup_refs = 1000;
+  sim.measure_refs = 4000;
+  auto a = SimulatePolicy(PolicyConfig::LruK(2), gen, sim);
+  auto b = SimulatePolicy(PolicyConfig::LruK(2), gen, sim);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->hits, b->hits);
+  EXPECT_EQ(a->misses, b->misses);
+  EXPECT_EQ(a->evictions, b->evictions);
+}
+
+TEST(SimulatorTest, A0ContextResolvedFromWorkload) {
+  TwoPoolOptions topt;
+  topt.n1 = 20;
+  topt.n2 = 200;
+  TwoPoolWorkload gen(topt);
+  SimOptions sim;
+  sim.capacity = 25;
+  sim.warmup_refs = 500;
+  sim.measure_refs = 2000;
+  auto a0 = SimulatePolicy(PolicyConfig::A0(), gen, sim);
+  ASSERT_TRUE(a0.ok()) << a0.status().ToString();
+  EXPECT_EQ(a0->policy_name, "A0");
+  // A0 keeps all 20 hot pages (plus 5 cold): hot hits ~ 50% of refs.
+  EXPECT_GT(a0->HitRatio(), 0.45);
+}
+
+TEST(SimulatorTest, A0FailsOnNonStationaryWorkload) {
+  MixedScanOptions mopt;
+  MixedScanWorkload gen(mopt);
+  SimOptions sim;
+  sim.capacity = 10;
+  auto a0 = SimulatePolicy(PolicyConfig::A0(), gen, sim);
+  ASSERT_FALSE(a0.ok());
+  EXPECT_EQ(a0.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SimulatorTest, BeladyContextMaterializesTrace) {
+  ZipfianOptions zopt;
+  zopt.num_pages = 100;
+  ZipfianWorkload gen(zopt);
+  SimOptions sim;
+  sim.capacity = 20;
+  sim.warmup_refs = 500;
+  sim.measure_refs = 2000;
+  auto b0 = SimulatePolicy(PolicyConfig::Belady(), gen, sim);
+  ASSERT_TRUE(b0.ok()) << b0.status().ToString();
+  auto lru = SimulatePolicy(PolicyConfig::Lru(), gen, sim);
+  ASSERT_TRUE(lru.ok());
+  // The clairvoyant optimum bounds every online policy.
+  EXPECT_GE(b0->HitRatio(), lru->HitRatio());
+}
+
+TEST(SimulatorTest, DominanceOrderingOnSkewedWorkload) {
+  // On the two-pool workload the paper's ordering must emerge:
+  // LRU-1 <= LRU-2 <= A0 (within noise, strict between LRU-1 and LRU-2).
+  TwoPoolOptions topt;
+  topt.n1 = 50;
+  topt.n2 = 5000;
+  TwoPoolWorkload gen(topt);
+  SimOptions sim;
+  sim.capacity = 60;
+  sim.warmup_refs = 5000;
+  sim.measure_refs = 20000;
+  auto lru1 = SimulatePolicy(PolicyConfig::Lru(), gen, sim);
+  auto lru2 = SimulatePolicy(PolicyConfig::LruK(2), gen, sim);
+  auto a0 = SimulatePolicy(PolicyConfig::A0(), gen, sim);
+  ASSERT_TRUE(lru1.ok() && lru2.ok() && a0.ok());
+  EXPECT_LT(lru1->HitRatio() + 0.05, lru2->HitRatio());
+  EXPECT_LE(lru2->HitRatio(), a0->HitRatio() + 0.02);
+}
+
+TEST(SweepTest, GridShapeAndMonotonicity) {
+  ZipfianOptions zopt;
+  zopt.num_pages = 300;
+  ZipfianWorkload gen(zopt);
+  SweepSpec spec;
+  spec.capacities = {10, 40, 160};
+  spec.policies = {PolicyConfig::Lru(), PolicyConfig::LruK(2)};
+  spec.sim.warmup_refs = 2000;
+  spec.sim.measure_refs = 8000;
+  auto sweep = RunSweep(spec, gen);
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  ASSERT_EQ(sweep->capacities.size(), 3u);
+  ASSERT_EQ(sweep->policy_names.size(), 2u);
+  EXPECT_EQ(sweep->policy_names[0], "LRU");
+  EXPECT_EQ(sweep->policy_names[1], "LRU-2");
+  // Hit ratio grows with capacity for both policies.
+  for (size_t j = 0; j < 2; ++j) {
+    EXPECT_LE(sweep->HitRatio(0, j), sweep->HitRatio(1, j) + 0.02);
+    EXPECT_LE(sweep->HitRatio(1, j), sweep->HitRatio(2, j) + 0.02);
+  }
+}
+
+TEST(AsciiTableTest, FormatsAlignedColumns) {
+  AsciiTable table({"B", "LRU-1", "LRU-2"});
+  table.AddRow({"60", AsciiTable::Fixed(0.14, 2), AsciiTable::Fixed(0.291, 3)});
+  table.AddRow({AsciiTable::Integer(100), "0.22", "0.459"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("LRU-1"), std::string::npos);
+  EXPECT_NE(out.find("0.291"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(AsciiTableTest, CsvRendering) {
+  AsciiTable table({"a", "b"});
+  table.AddRow({"1", "plain"});
+  table.AddRow({"with,comma", "with\"quote"});
+  std::string csv = table.ToCsv();
+  EXPECT_EQ(csv,
+            "a,b\n"
+            "1,plain\n"
+            "\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(AsciiTableTest, CsvFileRoundTrip) {
+  AsciiTable table({"x"});
+  table.AddRow({"42"});
+  std::string path = ::testing::TempDir() + "/lruk_table.csv";
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {0};
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "x\n42\n");
+  std::remove(path.c_str());
+}
+
+TEST(AsciiTableTest, ShortRowsRenderEmptyCells) {
+  AsciiTable table({"a", "b"});
+  table.AddRow({"1"});
+  EXPECT_NE(table.ToString().find('1'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lruk

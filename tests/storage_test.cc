@@ -1,0 +1,123 @@
+#include <cstring>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "storage/file_disk_manager.h"
+#include "storage/sim_disk_manager.h"
+
+namespace lruk {
+namespace {
+
+void FillPattern(char* buf, char seed) {
+  for (size_t i = 0; i < kPageSize; ++i) {
+    buf[i] = static_cast<char>(seed + static_cast<char>(i % 13));
+  }
+}
+
+template <typename Manager>
+void RunBasicDiskContract(Manager& disk) {
+  auto p1 = disk.AllocatePage();
+  ASSERT_TRUE(p1.ok());
+  auto p2 = disk.AllocatePage();
+  ASSERT_TRUE(p2.ok());
+  EXPECT_NE(*p1, *p2);
+  EXPECT_EQ(disk.NumAllocatedPages(), 2u);
+
+  char write_buf[kPageSize];
+  char read_buf[kPageSize];
+  FillPattern(write_buf, 3);
+  ASSERT_TRUE(disk.WritePage(*p1, write_buf).ok());
+  ASSERT_TRUE(disk.ReadPage(*p1, read_buf).ok());
+  EXPECT_EQ(std::memcmp(write_buf, read_buf, kPageSize), 0);
+
+  // Unwritten page reads as zeros.
+  ASSERT_TRUE(disk.ReadPage(*p2, read_buf).ok());
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(read_buf[i], 0);
+
+  // Deallocate and verify access fails.
+  ASSERT_TRUE(disk.DeallocatePage(*p2).ok());
+  EXPECT_FALSE(disk.ReadPage(*p2, read_buf).ok());
+  EXPECT_FALSE(disk.WritePage(*p2, write_buf).ok());
+  EXPECT_FALSE(disk.DeallocatePage(*p2).ok());
+  EXPECT_EQ(disk.NumAllocatedPages(), 1u);
+
+  // Freed ids are reused.
+  auto p3 = disk.AllocatePage();
+  ASSERT_TRUE(p3.ok());
+  EXPECT_EQ(*p3, *p2);
+}
+
+TEST(SimDiskTest, BasicContract) {
+  SimDiskManager disk;
+  RunBasicDiskContract(disk);
+}
+
+TEST(SimDiskTest, ReadOfNeverAllocatedPageFails) {
+  SimDiskManager disk;
+  char buf[kPageSize];
+  EXPECT_EQ(disk.ReadPage(123, buf).code(), StatusCode::kNotFound);
+}
+
+TEST(SimDiskTest, StatsAccumulateServiceTime) {
+  SimDiskOptions options;
+  options.read_micros = 100.0;
+  options.write_micros = 200.0;
+  SimDiskManager disk(options);
+  auto p = disk.AllocatePage();
+  ASSERT_TRUE(p.ok());
+  char buf[kPageSize] = {0};
+  ASSERT_TRUE(disk.WritePage(*p, buf).ok());
+  ASSERT_TRUE(disk.ReadPage(*p, buf).ok());
+  ASSERT_TRUE(disk.ReadPage(*p, buf).ok());
+  EXPECT_EQ(disk.stats().reads, 2u);
+  EXPECT_EQ(disk.stats().writes, 1u);
+  EXPECT_EQ(disk.stats().allocations, 1u);
+  EXPECT_DOUBLE_EQ(disk.stats().simulated_micros, 400.0);
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().reads, 0u);
+}
+
+TEST(FileDiskTest, BasicContract) {
+  std::string path = ::testing::TempDir() + "/lruk_filedisk_contract.db";
+  std::remove(path.c_str());
+  FileDiskManager disk(path);
+  ASSERT_TRUE(disk.Valid());
+  RunBasicDiskContract(disk);
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskTest, DataSurvivesReopen) {
+  std::string path = ::testing::TempDir() + "/lruk_filedisk_reopen.db";
+  std::remove(path.c_str());
+  char write_buf[kPageSize];
+  FillPattern(write_buf, 9);
+  PageId p;
+  {
+    FileDiskManager disk(path);
+    ASSERT_TRUE(disk.Valid());
+    auto allocated = disk.AllocatePage();
+    ASSERT_TRUE(allocated.ok());
+    p = *allocated;
+    ASSERT_TRUE(disk.WritePage(p, write_buf).ok());
+  }
+  {
+    FileDiskManager disk(path);
+    ASSERT_TRUE(disk.Valid());
+    EXPECT_EQ(disk.NumAllocatedPages(), 1u);
+    char read_buf[kPageSize];
+    ASSERT_TRUE(disk.ReadPage(p, read_buf).ok());
+    EXPECT_EQ(std::memcmp(write_buf, read_buf, kPageSize), 0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskTest, InvalidPathFailsCleanly) {
+  FileDiskManager disk("/nonexistent-dir/sub/file.db");
+  EXPECT_FALSE(disk.Valid());
+  char buf[kPageSize];
+  EXPECT_FALSE(disk.ReadPage(0, buf).ok());
+  EXPECT_FALSE(disk.AllocatePage().ok());
+}
+
+}  // namespace
+}  // namespace lruk

@@ -1,0 +1,234 @@
+#include "btree/string_btree.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/lru.h"
+#include "core/lru_k.h"
+#include "gtest/gtest.h"
+#include "storage/sim_disk_manager.h"
+#include "util/random.h"
+
+namespace lruk {
+namespace {
+
+class StringBTreeTest : public ::testing::Test {
+ protected:
+  StringBTreeTest() : pool_(128, &disk_, std::make_unique<LruPolicy>()) {}
+
+  SimDiskManager disk_;
+  BufferPool pool_;
+};
+
+TEST_F(StringBTreeTest, EmptyTree) {
+  StringBTree tree(&pool_);
+  EXPECT_TRUE(tree.Empty());
+  EXPECT_FALSE(tree.Get("missing").ok());
+  EXPECT_FALSE(tree.Delete("missing").ok());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST_F(StringBTreeTest, InsertGetUpdateDelete) {
+  StringBTree tree(&pool_);
+  ASSERT_TRUE(tree.Insert("cust-00042", 42).ok());
+  EXPECT_EQ(*tree.Get("cust-00042"), 42u);
+  EXPECT_EQ(tree.Insert("cust-00042", 1).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(tree.Update("cust-00042", 99).ok());
+  EXPECT_EQ(*tree.Get("cust-00042"), 99u);
+  ASSERT_TRUE(tree.Delete("cust-00042").ok());
+  EXPECT_FALSE(tree.Get("cust-00042").ok());
+  EXPECT_EQ(tree.Size(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST_F(StringBTreeTest, RejectsBadKeys) {
+  StringBTree tree(&pool_);
+  EXPECT_FALSE(tree.Insert("", 1).ok());
+  std::string huge(StringBTree::kMaxKeySize + 1, 'k');
+  EXPECT_FALSE(tree.Insert(huge, 1).ok());
+  std::string max(StringBTree::kMaxKeySize, 'k');
+  EXPECT_TRUE(tree.Insert(max, 1).ok());
+}
+
+TEST_F(StringBTreeTest, SplitsUnderManyInserts) {
+  StringBTree tree(&pool_);
+  // Keys with mixed lengths; enough volume to force multi-level splits.
+  for (int i = 0; i < 3000; ++i) {
+    std::string key = "key-";
+    key.append(std::to_string(i * 7919 % 100000));
+    key.append(static_cast<size_t>(i % 40), 'x');
+    ASSERT_TRUE(tree.Insert(key, static_cast<uint64_t>(i)).ok()) << i;
+  }
+  EXPECT_EQ(tree.Size(), 3000u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  // Every key still reachable.
+  for (int i = 0; i < 3000; ++i) {
+    std::string key = "key-";
+    key.append(std::to_string(i * 7919 % 100000));
+    key.append(static_cast<size_t>(i % 40), 'x');
+    auto got = tree.Get(key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(*got, static_cast<uint64_t>(i));
+  }
+}
+
+TEST_F(StringBTreeTest, OrderIsBytewiseLexicographic) {
+  StringBTree tree(&pool_);
+  std::vector<std::string> keys = {"b", "aa", "a", "ab", "ba", "B", "0"};
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(tree.Insert(keys[i], i).ok());
+  }
+  std::vector<std::string> visited;
+  ASSERT_TRUE(tree.Scan("\x01", "\x7f", [&](std::string_view k, uint64_t) {
+                    visited.emplace_back(k);
+                    return true;
+                  }).ok());
+  std::vector<std::string> expected = keys;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(visited, expected);
+}
+
+TEST_F(StringBTreeTest, RangeScanWindow) {
+  StringBTree tree(&pool_);
+  for (int i = 0; i < 500; ++i) {
+    char key[16];
+    std::snprintf(key, sizeof(key), "k%05d", i);
+    ASSERT_TRUE(tree.Insert(key, static_cast<uint64_t>(i)).ok());
+  }
+  int count = 0;
+  uint64_t first = 0;
+  ASSERT_TRUE(tree.Scan("k00100", "k00109",
+                        [&](std::string_view, uint64_t v) {
+                          if (count == 0) first = v;
+                          ++count;
+                          return true;
+                        })
+                  .ok());
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(first, 100u);
+}
+
+TEST_F(StringBTreeTest, LazyDeletesKeepStructureValid) {
+  StringBTree tree(&pool_);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(tree.Insert("d" + std::to_string(i), i).ok());
+  }
+  for (int i = 0; i < 2000; i += 2) {
+    ASSERT_TRUE(tree.Delete("d" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(tree.Size(), 1000u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(tree.Get("d" + std::to_string(i)).ok(), i % 2 == 1) << i;
+  }
+  // Deleted keys can be reinserted (space reclaimed by compaction).
+  for (int i = 0; i < 2000; i += 2) {
+    ASSERT_TRUE(tree.Insert("d" + std::to_string(i), i + 5000).ok());
+  }
+  EXPECT_EQ(tree.Size(), 2000u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST_F(StringBTreeTest, RandomizedAgainstStdMap) {
+  StringBTree tree(&pool_);
+  std::map<std::string, uint64_t> model;
+  RandomEngine rng(27182);
+
+  auto random_key = [&rng] {
+    size_t len = 1 + rng.NextBounded(24);
+    std::string key(len, '?');
+    for (auto& c : key) c = static_cast<char>('a' + rng.NextBounded(26));
+    return key;
+  };
+
+  for (int step = 0; step < 6000; ++step) {
+    std::string key = random_key();
+    double action = rng.NextDouble();
+    if (action < 0.55) {
+      uint64_t value = rng.NextUint64();
+      Status status = tree.Insert(key, value);
+      if (model.contains(key)) {
+        ASSERT_EQ(status.code(), StatusCode::kAlreadyExists);
+      } else {
+        ASSERT_TRUE(status.ok()) << status.ToString();
+        model[key] = value;
+      }
+    } else if (action < 0.75 && !model.empty()) {
+      auto it = model.begin();
+      std::advance(it, rng.NextBounded(model.size()));
+      ASSERT_TRUE(tree.Delete(it->first).ok());
+      model.erase(it);
+    } else if (action < 0.9) {
+      auto got = tree.Get(key);
+      ASSERT_EQ(got.ok(), model.contains(key)) << key;
+      if (got.ok()) {
+        ASSERT_EQ(*got, model[key]);
+      }
+    } else if (!model.empty()) {
+      auto it = model.begin();
+      std::advance(it, rng.NextBounded(model.size()));
+      uint64_t value = rng.NextUint64();
+      ASSERT_TRUE(tree.Update(it->first, value).ok());
+      it->second = value;
+    }
+    ASSERT_EQ(tree.Size(), model.size());
+    if (step % 500 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+
+  // Final full comparison via scan.
+  auto it = model.begin();
+  uint64_t seen = 0;
+  ASSERT_TRUE(tree.Scan(std::string(1, '\x01'), std::string(32, 'z'),
+                        [&](std::string_view k, uint64_t v) {
+                          EXPECT_NE(it, model.end());
+                          if (it != model.end()) {
+                            EXPECT_EQ(k, it->first);
+                            EXPECT_EQ(v, it->second);
+                            ++it;
+                          }
+                          ++seen;
+                          return true;
+                        })
+                  .ok());
+  EXPECT_EQ(seen, model.size());
+}
+
+TEST_F(StringBTreeTest, ReattachRecoversSize) {
+  PageId root;
+  {
+    StringBTree tree(&pool_);
+    for (int i = 0; i < 800; ++i) {
+      ASSERT_TRUE(tree.Insert("r" + std::to_string(i), i).ok());
+    }
+    ASSERT_TRUE(tree.Delete("r13").ok());
+    root = tree.RootPageId();
+  }
+  StringBTree reattached(&pool_, root);
+  EXPECT_EQ(reattached.Size(), 799u);
+  EXPECT_EQ(*reattached.Get("r500"), 500u);
+  EXPECT_FALSE(reattached.Get("r13").ok());
+  ASSERT_TRUE(reattached.CheckInvariants().ok());
+}
+
+TEST_F(StringBTreeTest, WorksThroughTinyPoolWithLruK) {
+  SimDiskManager disk;
+  BufferPool tiny(8, &disk, std::make_unique<LruKPolicy>(LruKOptions{}));
+  StringBTree tree(&tiny);
+  for (int i = 0; i < 1500; ++i) {
+    ASSERT_TRUE(tree.Insert("p" + std::to_string(i), i).ok()) << i;
+  }
+  for (int i = 0; i < 1500; ++i) {
+    ASSERT_TRUE(tree.Get("p" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_GT(disk.stats().reads, 0u);
+}
+
+}  // namespace
+}  // namespace lruk

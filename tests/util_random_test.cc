@@ -1,0 +1,179 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace lruk {
+namespace {
+
+TEST(SplitMix64Test, ProducesKnownSequenceDeterministically) {
+  uint64_t s1 = 12345;
+  uint64_t s2 = 12345;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SplitMix64Next(s1), SplitMix64Next(s2));
+  }
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  uint64_t a = 1;
+  uint64_t b = 2;
+  EXPECT_NE(SplitMix64Next(a), SplitMix64Next(b));
+}
+
+TEST(RandomEngineTest, DeterministicFromSeed) {
+  RandomEngine a(99);
+  RandomEngine b(99);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RandomEngineTest, SeedsProduceDistinctStreams) {
+  RandomEngine a(1);
+  RandomEngine b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RandomEngineTest, NextBoundedStaysInRange) {
+  RandomEngine rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RandomEngineTest, NextBoundedOneAlwaysZero) {
+  RandomEngine rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RandomEngineTest, NextBoundedIsRoughlyUniform) {
+  RandomEngine rng(11);
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(kBuckets)];
+  double expected = static_cast<double>(kDraws) / kBuckets;
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, expected * 0.1) << "bucket " << b;
+  }
+}
+
+TEST(RandomEngineTest, NextInRangeInclusiveBounds) {
+  RandomEngine rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo = saw_lo || v == -2;
+    saw_hi = saw_hi || v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomEngineTest, NextDoubleInUnitInterval) {
+  RandomEngine rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RandomEngineTest, BernoulliEdgeCases) {
+  RandomEngine rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+  }
+}
+
+TEST(RandomEngineTest, BernoulliMatchesProbability) {
+  RandomEngine rng(17);
+  int heads = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.NextBernoulli(0.3)) ++heads;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / kDraws, 0.3, 0.01);
+}
+
+TEST(RandomEngineTest, WeightedSamplingRespectsWeights) {
+  RandomEngine rng(23);
+  std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextWeighted(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.6, 0.015);
+}
+
+TEST(RandomEngineTest, WeightedSamplingSkipsZeroWeights) {
+  RandomEngine rng(29);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.NextWeighted(weights), 1u);
+  }
+}
+
+TEST(RandomEngineTest, ShuffleIsAPermutation) {
+  RandomEngine rng(31);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), original.begin()));
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RandomEngineTest, ShuffleHandlesEmptyAndSingle) {
+  RandomEngine rng(31);
+  std::vector<int> empty;
+  rng.Shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.Shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(RandomEngineTest, ForkedEnginesAreIndependentAndDeterministic) {
+  RandomEngine parent1(77);
+  RandomEngine parent2(77);
+  RandomEngine child1 = parent1.Fork();
+  RandomEngine child2 = parent2.Fork();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(child1.NextUint64(), child2.NextUint64());
+  }
+  // Child stream should differ from the parent's continued stream.
+  RandomEngine parent3(77);
+  RandomEngine child3 = parent3.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent3.NextUint64() == child3.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace lruk

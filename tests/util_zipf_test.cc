@@ -1,0 +1,146 @@
+#include "util/zipf.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace lruk {
+namespace {
+
+TEST(RecursiveSkewTest, CdfEndpoints) {
+  RecursiveSkewDistribution dist(0.8, 0.2, 1000);
+  EXPECT_DOUBLE_EQ(dist.Cdf(0), 0.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(1000), 1.0);
+  EXPECT_DOUBLE_EQ(dist.Cdf(2000), 1.0);
+}
+
+TEST(RecursiveSkewTest, EightyTwentyProperty) {
+  // alpha = 0.8 of references must hit beta = 0.2 of the pages, and
+  // recursively within the hot fraction.
+  RecursiveSkewDistribution dist(0.8, 0.2, 1000);
+  EXPECT_NEAR(dist.Cdf(200), 0.8, 1e-9);
+  EXPECT_NEAR(dist.Cdf(40), 0.8 * 0.8, 1e-9);  // 20% of 20% gets 80% of 80%.
+}
+
+TEST(RecursiveSkewTest, PmfSumsToOne) {
+  RecursiveSkewDistribution dist(0.8, 0.2, 500);
+  auto probs = dist.ProbabilityVector();
+  ASSERT_EQ(probs.size(), 500u);
+  double sum = std::accumulate(probs.begin(), probs.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(RecursiveSkewTest, PmfIsDecreasingInRank) {
+  RecursiveSkewDistribution dist(0.8, 0.2, 100);
+  auto probs = dist.ProbabilityVector();
+  for (size_t i = 1; i < probs.size(); ++i) {
+    EXPECT_LE(probs[i], probs[i - 1]) << "rank " << i + 1;
+  }
+}
+
+TEST(RecursiveSkewTest, SampleMatchesCdf) {
+  RecursiveSkewDistribution dist(0.8, 0.2, 1000);
+  RandomEngine rng(42);
+  constexpr int kDraws = 200000;
+  int hot = 0;  // Ranks <= 200.
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t rank = dist.Sample(rng);
+    ASSERT_GE(rank, 1u);
+    ASSERT_LE(rank, 1000u);
+    if (rank <= 200) ++hot;
+  }
+  EXPECT_NEAR(hot / static_cast<double>(kDraws), 0.8, 0.01);
+}
+
+TEST(RecursiveSkewTest, SingletonDistribution) {
+  RecursiveSkewDistribution dist(0.8, 0.2, 1);
+  RandomEngine rng(1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(dist.Sample(rng), 1u);
+  EXPECT_NEAR(dist.Pmf(1), 1.0, 1e-12);
+}
+
+TEST(ClassicZipfTest, ExponentZeroIsUniform) {
+  ClassicZipfDistribution dist(0.0, 100);
+  for (uint64_t i = 1; i <= 100; ++i) {
+    EXPECT_NEAR(dist.Pmf(i), 0.01, 1e-12);
+  }
+}
+
+TEST(ClassicZipfTest, PmfMatchesPowerLaw) {
+  ClassicZipfDistribution dist(1.0, 1000);
+  // P(1)/P(2) == 2 for s = 1.
+  EXPECT_NEAR(dist.Pmf(1) / dist.Pmf(2), 2.0, 1e-9);
+  EXPECT_NEAR(dist.Pmf(1) / dist.Pmf(10), 10.0, 1e-9);
+}
+
+TEST(ClassicZipfTest, PmfSumsToOne) {
+  ClassicZipfDistribution dist(1.2, 333);
+  auto probs = dist.ProbabilityVector();
+  double sum = std::accumulate(probs.begin(), probs.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ClassicZipfTest, SamplingMatchesPmf) {
+  ClassicZipfDistribution dist(1.0, 50);
+  RandomEngine rng(9);
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[dist.Sample(rng) - 1];
+  for (uint64_t rank : {1u, 2u, 5u, 20u}) {
+    double expected = dist.Pmf(rank);
+    EXPECT_NEAR(counts[rank - 1] / static_cast<double>(kDraws), expected,
+                expected * 0.15 + 0.002)
+        << "rank " << rank;
+  }
+}
+
+TEST(DiscreteSamplerTest, NormalizesWeights) {
+  DiscreteSampler sampler({2.0, 6.0, 2.0});
+  EXPECT_NEAR(sampler.Probability(0), 0.2, 1e-12);
+  EXPECT_NEAR(sampler.Probability(1), 0.6, 1e-12);
+  EXPECT_NEAR(sampler.Probability(2), 0.2, 1e-12);
+}
+
+TEST(DiscreteSamplerTest, SamplingMatchesDistribution) {
+  DiscreteSampler sampler({1.0, 2.0, 3.0, 4.0});
+  RandomEngine rng(13);
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[sampler.Sample(rng)];
+  for (size_t i = 0; i < 4; ++i) {
+    double expected = (i + 1) / 10.0;
+    EXPECT_NEAR(counts[i] / static_cast<double>(kDraws), expected, 0.01);
+  }
+}
+
+TEST(DiscreteSamplerTest, HandlesDegenerateDistribution) {
+  DiscreteSampler sampler({0.0, 0.0, 5.0});
+  RandomEngine rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(rng), 2u);
+}
+
+TEST(DiscreteSamplerTest, SingleOutcome) {
+  DiscreteSampler sampler({3.0});
+  RandomEngine rng(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+TEST(DiscreteSamplerTest, ManyTinyWeightsStillExact) {
+  std::vector<double> weights(1000, 1e-12);
+  weights[500] = 1e-9;  // 1000x heavier than the rest.
+  DiscreteSampler sampler(weights);
+  RandomEngine rng(21);
+  int heavy = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (sampler.Sample(rng) == 500) ++heavy;
+  }
+  // Heavy item mass: 1e-9 / (1e-9 + 999e-12) ~ 0.5003.
+  EXPECT_NEAR(heavy / static_cast<double>(kDraws), 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace lruk
