@@ -39,7 +39,7 @@ size_t ChildIndexFor(const BTreeInternalPage* node, uint64_t key) {
 
 }  // namespace
 
-BTree::BTree(BufferPool* pool, BTreeOptions options, PageId root)
+BTree::BTree(PoolInterface* pool, BTreeOptions options, PageId root)
     : pool_(pool), options_(options), root_(root) {
   LRUK_ASSERT(pool_ != nullptr, "BTree needs a buffer pool");
   leaf_capacity_ = options.leaf_capacity == 0

@@ -23,7 +23,7 @@
 #include <optional>
 #include <vector>
 
-#include "bufferpool/buffer_pool.h"
+#include "bufferpool/pool_interface.h"
 #include "bufferpool/page_guard.h"
 #include "btree/btree_page.h"
 #include "util/status.h"
@@ -47,7 +47,7 @@ class BTree {
  public:
   // `pool` must outlive the tree. Pass `root` to re-attach to an existing
   // tree; kInvalidPageId starts empty.
-  explicit BTree(BufferPool* pool, BTreeOptions options = {},
+  explicit BTree(PoolInterface* pool, BTreeOptions options = {},
                  PageId root = kInvalidPageId);
   LRUK_DISALLOW_COPY_AND_MOVE(BTree);
 
@@ -122,7 +122,7 @@ class BTree {
   size_t LeafMin() const { return leaf_capacity_ / 2; }
   size_t InternalMin() const { return internal_capacity_ / 2; }
 
-  BufferPool* pool_;
+  PoolInterface* pool_;
   BTreeOptions options_;
   size_t leaf_capacity_;
   size_t internal_capacity_;

@@ -142,7 +142,7 @@ void RemoveEntry(char* data, uint32_t pos) {
 
 }  // namespace
 
-StringBTree::StringBTree(BufferPool* pool, PageId root)
+StringBTree::StringBTree(PoolInterface* pool, PageId root)
     : pool_(pool), root_(root) {
   LRUK_ASSERT(pool_ != nullptr, "StringBTree needs a buffer pool");
   if (root_ == kInvalidPageId) return;

@@ -25,7 +25,7 @@
 #include <string_view>
 #include <vector>
 
-#include "bufferpool/buffer_pool.h"
+#include "bufferpool/pool_interface.h"
 #include "bufferpool/page_guard.h"
 #include "util/status.h"
 
@@ -37,7 +37,7 @@ class StringBTree {
   static constexpr size_t kMaxKeySize = 512;
 
   // `pool` must outlive the tree; pass `root` to re-attach.
-  explicit StringBTree(BufferPool* pool, PageId root = kInvalidPageId);
+  explicit StringBTree(PoolInterface* pool, PageId root = kInvalidPageId);
   LRUK_DISALLOW_COPY_AND_MOVE(StringBTree);
 
   // Inserts a new key. kAlreadyExists if present; kInvalidArgument for an
@@ -83,7 +83,7 @@ class StringBTree {
                   std::optional<std::string> hi, int depth, int* leaf_depth,
                   PageId* prev_leaf, std::string* prev_key);
 
-  BufferPool* pool_;
+  PoolInterface* pool_;
   PageId root_;
   uint64_t size_ = 0;
 };

@@ -40,14 +40,24 @@ Result<FrameId> BufferPool::AcquireFrame() {
   FrameId f = it->second;
   Page& page = frames_[f];
   LRUK_ASSERT(page.pin_count_ == 0, "policy evicted a pinned page");
+  Status written = Status::Ok();
   if (page.dirty_) {
-    LRUK_RETURN_IF_ERROR(disk_->WritePage(page.id_, page.Data()));
-    ++stats_.dirty_writebacks;
+    written = disk_->WritePage(page.id_, page.Data());
+    if (written.ok()) ++stats_.dirty_writebacks;
+    // On failure the eviction still completes below: the policy already
+    // dropped the victim, and leaving it in the page table would let a
+    // later fetch take the hit path for a page the policy no longer
+    // tracks. The victim's unwritten changes are lost; the caller sees
+    // the write error instead of a frame.
   }
   page_table_.erase(it);
   page.id_ = kInvalidPageId;
   page.dirty_ = false;
   ++stats_.evictions;
+  if (!written.ok()) {
+    free_frames_.push_back(f);
+    return written;
+  }
   return f;
 }
 
@@ -88,12 +98,24 @@ Result<Page*> BufferPool::NewPage() {
   auto allocated = disk_->AllocatePage();
   if (!allocated.ok()) return allocated.status();
   PageId p = *allocated;
+  auto page = AdmitNewPageLocked(p);
+  if (!page.ok()) (void)disk_->DeallocatePage(p);
+  return page;
+}
+
+Result<Page*> BufferPool::AdmitNewPage(PageId p) {
+  std::lock_guard<std::mutex> guard(latch_);
+  if (page_table_.contains(p)) {
+    return Status::AlreadyExists("admit of resident page " +
+                                 std::to_string(p));
+  }
+  return AdmitNewPageLocked(p);
+}
+
+Result<Page*> BufferPool::AdmitNewPageLocked(PageId p) {
   policy_->PrepareAdmit(p);
   auto frame = AcquireFrame();
-  if (!frame.ok()) {
-    (void)disk_->DeallocatePage(p);
-    return frame.status();
-  }
+  if (!frame.ok()) return frame.status();
   Page& page = frames_[*frame];
   page.ZeroFill();
   page.id_ = p;

@@ -16,6 +16,8 @@
 // evicted, and Page pointers stay stable for the pool's lifetime, so
 // concurrent readers are safe; concurrent writers to the same page must
 // coordinate among themselves (as with per-page latches in a real DBMS).
+// For multi-core scaling, ShardedBufferPool composes several of these
+// pools behind the same PoolInterface.
 
 #ifndef LRUK_BUFFERPOOL_BUFFER_POOL_H_
 #define LRUK_BUFFERPOOL_BUFFER_POOL_H_
@@ -26,69 +28,50 @@
 #include <vector>
 
 #include "bufferpool/page.h"
+#include "bufferpool/pool_interface.h"
 #include "core/replacement_policy.h"
 #include "storage/disk_manager.h"
 #include "util/status.h"
 
 namespace lruk {
 
-struct BufferPoolStats {
-  uint64_t hits = 0;
-  uint64_t misses = 0;
-  uint64_t evictions = 0;
-  uint64_t dirty_writebacks = 0;
-
-  double HitRatio() const {
-    uint64_t total = hits + misses;
-    return total == 0 ? 0.0
-                      : static_cast<double>(hits) / static_cast<double>(total);
-  }
-};
-
-class BufferPool {
+class BufferPool final : public PoolInterface {
  public:
   // `disk` must outlive the pool. The pool owns the policy.
   BufferPool(size_t capacity, DiskManager* disk,
              std::unique_ptr<ReplacementPolicy> policy);
-  ~BufferPool();
-  LRUK_DISALLOW_COPY_AND_MOVE(BufferPool);
+  ~BufferPool() override;
 
-  // Returns the page pinned, reading it from disk on a miss. `type`
-  // reaches the replacement policy (and kWrite marks the page dirty).
-  Result<Page*> FetchPage(PageId p, AccessType type = AccessType::kRead);
+  Result<Page*> FetchPage(PageId p,
+                          AccessType type = AccessType::kRead) override;
+  Result<Page*> NewPage() override;
 
-  // Allocates a new disk page, returns it pinned, zeroed, and dirty.
-  Result<Page*> NewPage();
+  // Admits the already-allocated disk page `p` as a fresh resident page:
+  // pinned, zero-filled, and dirty, exactly as NewPage leaves it. Used by
+  // ShardedBufferPool, whose page-id allocation happens at the pool level
+  // before the owning shard is known. Precondition: `p` is allocated on
+  // disk and not resident here.
+  Result<Page*> AdmitNewPage(PageId p);
 
-  // Drops one pin; `dirty` accumulates into the page's dirty flag. The
-  // page becomes evictable when its pin count reaches zero.
-  Status UnpinPage(PageId p, bool dirty);
+  Status UnpinPage(PageId p, bool dirty) override;
+  Status FlushPage(PageId p) override;
+  Status FlushAll() override;
+  Status DeletePage(PageId p) override;
 
-  // Writes the page image to disk now (page stays resident and keeps its
-  // pins). Clears the dirty flag.
-  Status FlushPage(PageId p);
-
-  // Flushes every dirty resident page.
-  Status FlushAll();
-
-  // Removes the page from the pool and deallocates it on disk. Fails if
-  // pinned.
-  Status DeletePage(PageId p);
-
-  size_t capacity() const { return capacity_; }
-  size_t ResidentCount() const {
+  size_t capacity() const override { return capacity_; }
+  size_t ResidentCount() const override {
     std::lock_guard<std::mutex> guard(latch_);
     return page_table_.size();
   }
-  bool IsResident(PageId p) const {
+  bool IsResident(PageId p) const override {
     std::lock_guard<std::mutex> guard(latch_);
     return page_table_.contains(p);
   }
-  BufferPoolStats stats() const {
+  BufferPoolStats stats() const override {
     std::lock_guard<std::mutex> guard(latch_);
     return stats_;
   }
-  void ResetStats() {
+  void ResetStats() override {
     std::lock_guard<std::mutex> guard(latch_);
     stats_ = BufferPoolStats{};
   }
@@ -99,6 +82,8 @@ class BufferPool {
   // Finds a frame for a new resident page: the free list first, then a
   // policy eviction (with dirty write-back).
   Result<FrameId> AcquireFrame();
+  // NewPage/AdmitNewPage body; the latch is already held.
+  Result<Page*> AdmitNewPageLocked(PageId p);
 
   mutable std::mutex latch_;
   size_t capacity_;

@@ -4,7 +4,7 @@
 
 namespace lruk {
 
-PageGuard::PageGuard(BufferPool* pool, Page* page, bool dirty)
+PageGuard::PageGuard(PoolInterface* pool, Page* page, bool dirty)
     : pool_(pool), page_(page), dirty_(dirty) {}
 
 PageGuard::~PageGuard() { Release(); }
@@ -24,14 +24,14 @@ PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
   return *this;
 }
 
-Result<PageGuard> PageGuard::Fetch(BufferPool& pool, PageId p,
+Result<PageGuard> PageGuard::Fetch(PoolInterface& pool, PageId p,
                                    AccessType type) {
   auto page = pool.FetchPage(p, type);
   if (!page.ok()) return page.status();
   return PageGuard(&pool, *page, type == AccessType::kWrite);
 }
 
-Result<PageGuard> PageGuard::New(BufferPool& pool) {
+Result<PageGuard> PageGuard::New(PoolInterface& pool) {
   auto page = pool.NewPage();
   if (!page.ok()) return page.status();
   return PageGuard(&pool, *page, /*dirty=*/true);

@@ -1,10 +1,11 @@
 // RAII pin management: a PageGuard unpins its page on destruction, marking
-// it dirty if it was acquired (or later upgraded) for writing.
+// it dirty if it was acquired (or later upgraded) for writing. Works over
+// any PoolInterface (single-latch or sharded).
 
 #ifndef LRUK_BUFFERPOOL_PAGE_GUARD_H_
 #define LRUK_BUFFERPOOL_PAGE_GUARD_H_
 
-#include "bufferpool/buffer_pool.h"
+#include "bufferpool/pool_interface.h"
 #include "bufferpool/page.h"
 #include "util/status.h"
 
@@ -13,7 +14,7 @@ namespace lruk {
 class PageGuard {
  public:
   PageGuard() = default;
-  PageGuard(BufferPool* pool, Page* page, bool dirty);
+  PageGuard(PoolInterface* pool, Page* page, bool dirty);
   ~PageGuard();
 
   PageGuard(const PageGuard&) = delete;
@@ -22,11 +23,11 @@ class PageGuard {
   PageGuard& operator=(PageGuard&& other) noexcept;
 
   // Fetches `p` from `pool` and wraps it. `type` kWrite pre-marks dirty.
-  static Result<PageGuard> Fetch(BufferPool& pool, PageId p,
+  static Result<PageGuard> Fetch(PoolInterface& pool, PageId p,
                                  AccessType type = AccessType::kRead);
 
   // Allocates a new page and wraps it (already dirty).
-  static Result<PageGuard> New(BufferPool& pool);
+  static Result<PageGuard> New(PoolInterface& pool);
 
   bool valid() const { return page_ != nullptr; }
   PageId id() const { return page_ != nullptr ? page_->id() : kInvalidPageId; }
@@ -54,7 +55,7 @@ class PageGuard {
   void Release();
 
  private:
-  BufferPool* pool_ = nullptr;
+  PoolInterface* pool_ = nullptr;
   Page* page_ = nullptr;
   bool dirty_ = false;
 };

@@ -1,0 +1,93 @@
+// The buffer-pool surface shared by the single-latch BufferPool and the
+// ShardedBufferPool: substrates (B+tree, heap file), PageGuard, examples
+// and benches program against this interface so either pool can be swapped
+// in underneath them.
+
+#ifndef LRUK_BUFFERPOOL_POOL_INTERFACE_H_
+#define LRUK_BUFFERPOOL_POOL_INTERFACE_H_
+
+#include <cstdint>
+
+#include "bufferpool/page.h"
+#include "core/types.h"
+#include "util/status.h"
+
+namespace lruk {
+
+// Counting semantics: every FetchPage resolves to exactly one hit or one
+// miss. A fetch of a resident page is a hit even when the page is already
+// pinned by this or another caller — a re-pin saved an I/O just as surely
+// as a first pin did, so hits measure "fetches that did not touch disk".
+// NewPage, FlushPage and DeletePage count neither hits nor misses.
+// `evictions` counts policy-chosen victims only (DeletePage is not an
+// eviction); `dirty_writebacks` counts eviction-time write-backs (explicit
+// FlushPage/FlushAll writes are not included).
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+
+  double HitRatio() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+
+  BufferPoolStats& operator+=(const BufferPoolStats& other) {
+    hits += other.hits;
+    misses += other.misses;
+    evictions += other.evictions;
+    dirty_writebacks += other.dirty_writebacks;
+    return *this;
+  }
+};
+
+// Abstract page-caching pool. Implementations pin pages on fetch; callers
+// balance every FetchPage/NewPage with UnpinPage (or hold a PageGuard).
+class PoolInterface {
+ public:
+  PoolInterface() = default;
+  virtual ~PoolInterface() = default;
+  LRUK_DISALLOW_COPY_AND_MOVE(PoolInterface);
+
+  // Returns the page pinned, reading it from disk on a miss. `type`
+  // reaches the replacement policy (and kWrite marks the page dirty).
+  virtual Result<Page*> FetchPage(PageId p,
+                                  AccessType type = AccessType::kRead) = 0;
+
+  // Allocates a new disk page, returns it pinned, zeroed, and dirty.
+  virtual Result<Page*> NewPage() = 0;
+
+  // Drops one pin; `dirty` accumulates into the page's dirty flag. The
+  // page becomes evictable when its pin count reaches zero.
+  virtual Status UnpinPage(PageId p, bool dirty) = 0;
+
+  // Writes the page image to disk now (page stays resident and keeps its
+  // pins). Clears the dirty flag.
+  virtual Status FlushPage(PageId p) = 0;
+
+  // Flushes every dirty resident page.
+  virtual Status FlushAll() = 0;
+
+  // Removes the page from the pool and deallocates it on disk. Fails if
+  // pinned.
+  virtual Status DeletePage(PageId p) = 0;
+
+  // Total frames across the whole pool.
+  virtual size_t capacity() const = 0;
+
+  // Currently resident pages across the whole pool.
+  virtual size_t ResidentCount() const = 0;
+
+  virtual bool IsResident(PageId p) const = 0;
+
+  // Aggregate counters (summed across shards for a sharded pool).
+  virtual BufferPoolStats stats() const = 0;
+
+  virtual void ResetStats() = 0;
+};
+
+}  // namespace lruk
+
+#endif  // LRUK_BUFFERPOOL_POOL_INTERFACE_H_

@@ -83,6 +83,26 @@ Result<std::unique_ptr<ReplacementPolicy>> MakePolicy(
   return Status::Internal("unhandled policy kind");
 }
 
+Result<ShardPolicyFactory> MakeShardPolicyFactory(const PolicyConfig& config,
+                                                  PolicyContext context) {
+  // Probe-build once with a stand-in capacity (shards always have >= 1
+  // frame) so config errors are reported now, as a Status.
+  PolicyContext probe = context;
+  if (probe.capacity == 0) probe.capacity = 1;
+  auto trial = MakePolicy(config, probe);
+  if (!trial.ok()) return trial.status();
+
+  return ShardPolicyFactory(
+      [config, context](size_t /*shard_index*/, size_t shard_capacity) {
+        PolicyContext shard_context = context;
+        shard_context.capacity = shard_capacity;
+        auto policy = MakePolicy(config, shard_context);
+        LRUK_ASSERT(policy.ok(),
+                    "validated policy config failed to build for a shard");
+        return std::move(*policy);
+      });
+}
+
 std::optional<PolicyConfig> ParsePolicyName(const std::string& name) {
   std::string upper(name.size(), '\0');
   std::transform(name.begin(), name.end(), upper.begin(),

@@ -8,6 +8,7 @@
 #ifndef LRUK_CORE_POLICY_FACTORY_H_
 #define LRUK_CORE_POLICY_FACTORY_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -92,6 +93,22 @@ struct PolicyContext {
 // context field is missing (e.g. A0 without probabilities).
 Result<std::unique_ptr<ReplacementPolicy>> MakePolicy(
     const PolicyConfig& config, const PolicyContext& context);
+
+// Builds one policy instance per buffer-pool shard: invoked as
+// factory(shard_index, shard_capacity), must return a fresh, non-null
+// policy on every call. ShardedBufferPool calls it once per shard;
+// custom policies can be supplied with a hand-written lambda.
+using ShardPolicyFactory = std::function<std::unique_ptr<ReplacementPolicy>(
+    size_t shard_index, size_t shard_capacity)>;
+
+// Adapts a PolicyConfig into a ShardPolicyFactory: every shard gets an
+// independent policy built from `config`, with PolicyContext::capacity
+// rewritten to the shard's own frame count (so 2Q/ARC size their queues
+// per shard); the rest of `context` (A0 probabilities, Belady trace) is
+// shared as-is. The config is validated eagerly — a misconfiguration
+// surfaces here as a Status, not later inside a shard.
+Result<ShardPolicyFactory> MakeShardPolicyFactory(const PolicyConfig& config,
+                                                  PolicyContext context = {});
 
 // Parses names like "LRU", "LRU-2", "LRU-10", "LFU", "FIFO", "CLOCK",
 // "GCLOCK", "LRD", "MRU", "RANDOM", "2Q", "ARC", "A0", "B0"/"BELADY"

@@ -63,7 +63,7 @@ void CompactPage(char* data) {
 
 }  // namespace
 
-HeapFile::HeapFile(BufferPool* pool, PageId head)
+HeapFile::HeapFile(PoolInterface* pool, PageId head)
     : pool_(pool), head_(head), tail_(head) {
   LRUK_ASSERT(pool_ != nullptr, "HeapFile needs a buffer pool");
   // Re-attach: walk the chain to find the tail and count live records.

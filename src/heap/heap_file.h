@@ -23,7 +23,7 @@
 #include <string>
 #include <string_view>
 
-#include "bufferpool/buffer_pool.h"
+#include "bufferpool/pool_interface.h"
 #include "bufferpool/page_guard.h"
 #include "util/status.h"
 
@@ -48,7 +48,7 @@ class HeapFile {
  public:
   // `pool` must outlive the heap. Pass `head` to re-attach to an existing
   // chain; kInvalidPageId starts a new (empty) heap.
-  explicit HeapFile(BufferPool* pool, PageId head = kInvalidPageId);
+  explicit HeapFile(PoolInterface* pool, PageId head = kInvalidPageId);
   LRUK_DISALLOW_COPY_AND_MOVE(HeapFile);
 
   // Appends a record; returns its address. Fails with INVALID_ARGUMENT if
@@ -84,7 +84,7 @@ class HeapFile {
  private:
   Result<PageGuard> AppendPage();
 
-  BufferPool* pool_;
+  PoolInterface* pool_;
   PageId head_;
   PageId tail_;
   uint64_t size_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 
 #include "util/macros.h"
 
@@ -25,6 +26,7 @@ FileDiskManager::~FileDiskManager() {
 }
 
 Status FileDiskManager::ReadPage(PageId p, char* out) {
+  std::lock_guard<std::mutex> guard(latch_);
   if (file_ == nullptr) return Status::IoError("database file not open");
   if (p >= next_page_id_ ||
       std::find(free_list_.begin(), free_list_.end(), p) != free_list_.end()) {
@@ -47,6 +49,7 @@ Status FileDiskManager::ReadPage(PageId p, char* out) {
 }
 
 Status FileDiskManager::WritePage(PageId p, const char* data) {
+  std::lock_guard<std::mutex> guard(latch_);
   if (file_ == nullptr) return Status::IoError("database file not open");
   if (p >= next_page_id_ ||
       std::find(free_list_.begin(), free_list_.end(), p) != free_list_.end()) {
@@ -66,6 +69,7 @@ Status FileDiskManager::WritePage(PageId p, const char* data) {
 }
 
 Result<PageId> FileDiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> guard(latch_);
   if (file_ == nullptr) return Status::IoError("database file not open");
   PageId p;
   if (!free_list_.empty()) {
@@ -79,6 +83,7 @@ Result<PageId> FileDiskManager::AllocatePage() {
 }
 
 Status FileDiskManager::DeallocatePage(PageId p) {
+  std::lock_guard<std::mutex> guard(latch_);
   if (file_ == nullptr) return Status::IoError("database file not open");
   if (p >= next_page_id_ ||
       std::find(free_list_.begin(), free_list_.end(), p) != free_list_.end()) {
@@ -91,6 +96,7 @@ Status FileDiskManager::DeallocatePage(PageId p) {
 }
 
 uint64_t FileDiskManager::NumAllocatedPages() const {
+  std::lock_guard<std::mutex> guard(latch_);
   return next_page_id_ - free_list_.size();
 }
 

@@ -1,4 +1,6 @@
 // File-backed disk manager: page p lives at byte offset p * kPageSize.
+// All operations are serialized by an internal latch (one shared FILE*
+// cursor), so the manager is safe under a ShardedBufferPool.
 // The free list is kept in memory only (deallocated pages are reused within
 // a process lifetime but not across restarts); allocation high-water mark
 // is recovered from the file size on open.
@@ -7,6 +9,7 @@
 #define LRUK_STORAGE_FILE_DISK_MANAGER_H_
 
 #include <cstdio>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,6 +33,7 @@ class FileDiskManager final : public DiskManager {
   uint64_t NumAllocatedPages() const override;
 
  private:
+  mutable std::mutex latch_;
   std::string path_;
   std::FILE* file_ = nullptr;
   PageId next_page_id_ = 0;

@@ -1,12 +1,14 @@
 #include "storage/sim_disk_manager.h"
 
 #include <cstring>
+#include <mutex>
 
 namespace lruk {
 
 SimDiskManager::SimDiskManager(SimDiskOptions options) : options_(options) {}
 
 Status SimDiskManager::ReadPage(PageId p, char* out) {
+  std::lock_guard<std::mutex> guard(latch_);
   auto it = pages_.find(p);
   if (it == pages_.end()) {
     return Status::NotFound("read of unallocated page " + std::to_string(p));
@@ -22,6 +24,7 @@ Status SimDiskManager::ReadPage(PageId p, char* out) {
 }
 
 Status SimDiskManager::WritePage(PageId p, const char* data) {
+  std::lock_guard<std::mutex> guard(latch_);
   auto it = pages_.find(p);
   if (it == pages_.end()) {
     return Status::NotFound("write of unallocated page " + std::to_string(p));
@@ -36,6 +39,7 @@ Status SimDiskManager::WritePage(PageId p, const char* data) {
 }
 
 Result<PageId> SimDiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> guard(latch_);
   PageId p;
   if (!free_list_.empty()) {
     p = free_list_.back();
@@ -49,6 +53,7 @@ Result<PageId> SimDiskManager::AllocatePage() {
 }
 
 Status SimDiskManager::DeallocatePage(PageId p) {
+  std::lock_guard<std::mutex> guard(latch_);
   auto it = pages_.find(p);
   if (it == pages_.end()) {
     return Status::NotFound("deallocation of unallocated page " +
@@ -60,6 +65,9 @@ Status SimDiskManager::DeallocatePage(PageId p) {
   return Status::Ok();
 }
 
-uint64_t SimDiskManager::NumAllocatedPages() const { return pages_.size(); }
+uint64_t SimDiskManager::NumAllocatedPages() const {
+  std::lock_guard<std::mutex> guard(latch_);
+  return pages_.size();
+}
 
 }  // namespace lruk

@@ -1,9 +1,15 @@
 // In-memory simulated disk with a constant-service-time cost model.
+//
+// Thread safety: every operation is serialized by an internal latch, so
+// the shards of a ShardedBufferPool (each holding only its own shard
+// latch) may issue reads, write-backs and allocations concurrently.
+// stats() remains safe to read once concurrent operations have ceased.
 
 #ifndef LRUK_STORAGE_SIM_DISK_MANAGER_H_
 #define LRUK_STORAGE_SIM_DISK_MANAGER_H_
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +42,7 @@ class SimDiskManager final : public DiskManager {
 
   bool Allocated(PageId p) const { return pages_.contains(p); }
 
+  mutable std::mutex latch_;
   SimDiskOptions options_;
   PageId next_page_id_ = 0;
   std::vector<PageId> free_list_;

@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "bufferpool/buffer_pool.h"
 #include "core/lru.h"
 #include "gtest/gtest.h"
 #include "storage/sim_disk_manager.h"

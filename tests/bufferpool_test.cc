@@ -66,6 +66,34 @@ TEST(BufferPoolTest, FetchCountsHitsAndMisses) {
   EXPECT_EQ(pool.stats().misses, 0u);
 }
 
+TEST(BufferPoolTest, RePinningAPinnedPageCountsAsAHit) {
+  // The documented BufferPoolStats semantics: every FetchPage of a
+  // resident page is a hit, even when the page is already pinned — hits
+  // count fetches that avoided disk I/O, not pin-count 0->1 transitions.
+  // NewPage counts neither a hit nor a miss. ShardedBufferPool asserts
+  // the same semantics in its own suite.
+  SimDiskManager disk;
+  BufferPool pool(4, &disk, MakeLru());
+  auto page = pool.NewPage();
+  ASSERT_TRUE(page.ok());
+  PageId p = (*page)->id();
+  EXPECT_EQ(pool.stats().hits, 0u);
+  EXPECT_EQ(pool.stats().misses, 0u);
+
+  auto repin = pool.FetchPage(p);  // Still pinned by NewPage.
+  ASSERT_TRUE(repin.ok());
+  EXPECT_EQ((*repin)->pin_count(), 2);
+  auto repin2 = pool.FetchPage(p);
+  ASSERT_TRUE(repin2.ok());
+  EXPECT_EQ((*repin2)->pin_count(), 3);
+
+  BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_DOUBLE_EQ(stats.HitRatio(), 1.0);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(pool.UnpinPage(p, false).ok());
+}
+
 TEST(BufferPoolTest, AllFramesPinnedExhaustsPool) {
   SimDiskManager disk;
   BufferPool pool(2, &disk, MakeLru());

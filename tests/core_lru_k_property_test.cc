@@ -1,5 +1,5 @@
 // Property tests for LRU-K, parameterized over K, the Correlated Reference
-// Period, and the random seed:
+// Period, the Retained Information Period, and the random seed:
 //
 //  1. The O(log n) indexed victim search and the paper's O(n) linear scan
 //     (Figure 2.1) are behaviourally identical on arbitrary operation
@@ -98,13 +98,18 @@ void RunLockstep(ReplacementPolicy& a, ReplacementPolicy& b, uint64_t seed) {
 }
 
 class LruKImplEquivalence
-    : public ::testing::TestWithParam<std::tuple<int, Timestamp, uint64_t>> {};
+    : public ::testing::TestWithParam<
+          std::tuple<int, Timestamp, Timestamp, uint64_t>> {};
 
 TEST_P(LruKImplEquivalence, IndexedMatchesLinearScan) {
-  auto [k, crp, seed] = GetParam();
+  auto [k, crp, rip, seed] = GetParam();
   LruKOptions indexed_opts;
   indexed_opts.k = k;
   indexed_opts.correlated_reference_period = crp;
+  indexed_opts.retained_information_period = rip;
+  // A short demon period so a finite RIP actually purges mid-script (the
+  // default 4096 would never fire inside kSteps references).
+  indexed_opts.purge_interval = 64;
   LruKOptions linear_opts = indexed_opts;
   linear_opts.use_linear_scan = true;
 
@@ -113,10 +118,18 @@ TEST_P(LruKImplEquivalence, IndexedMatchesLinearScan) {
   RunLockstep(indexed, linear, seed);
 }
 
+// The RIP axis sweeps infinite retention plus finite periods straddling
+// the reuse distance of the kPages/kCapacity script, so victim selection
+// runs both with and without expired-history discards; combined with
+// nonzero CRPs this covers the corner where the linear-scan and
+// ordered-index victim paths could diverge (history shifts by the closed
+// correlated period re-key the index; purges drop blocks the scan would
+// otherwise visit).
 INSTANTIATE_TEST_SUITE_P(
-    KCrpSeedGrid, LruKImplEquivalence,
+    KCrpRipSeedGrid, LruKImplEquivalence,
     ::testing::Combine(::testing::Values(1, 2, 3, 5),
                        ::testing::Values<Timestamp>(0, 3, 20),
+                       ::testing::Values<Timestamp>(kInfinitePeriod, 48, 400),
                        ::testing::Values<uint64_t>(1, 7, 1234)));
 
 class LruK1VsLru : public ::testing::TestWithParam<uint64_t> {};

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "bufferpool/buffer_pool.h"
 #include "core/lru.h"
 #include "core/lru_k.h"
 #include "gtest/gtest.h"

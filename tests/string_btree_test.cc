@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "bufferpool/buffer_pool.h"
 #include "core/lru.h"
 #include "core/lru_k.h"
 #include "gtest/gtest.h"
