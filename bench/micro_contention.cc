@@ -1,0 +1,273 @@
+// Contention microbenchmark for batched access recording: multi-threaded
+// Zipfian fetch/unpin throughput swept over thread count x batch capacity,
+// on the single-latch BufferPool (the per-shard microcosm — every hit
+// serializes on one latch, so this isolates what batching buys), plus a
+// 4-shard composition row. LRU-2 policy, hot set mostly resident, ~5%
+// writes: the read-mostly regime the batching targets, where the victim
+// index reposition on every hit is the dominant latch hold.
+//
+// Shape checks:
+//  * accounting — for every cell, hits + misses must equal the ops issued
+//    exactly (batching defers HIST updates, never hit/miss counting).
+//  * throughput — at 8 threads, batch_capacity = 64 must reach >= 2x the
+//    batch_capacity = 0 baseline on the single-latch pool. Parallel
+//    contention is unobservable without parallel hardware, so on machines
+//    with fewer than 4 cores the criterion is reported, not enforced
+//    (same convention as micro_sharded_pool).
+//
+// Flags: --json <path> writes machine-readable results (BENCH_*.json
+// trajectory); --quick shrinks the per-cell op count for CI smoke runs.
+
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bufferpool/buffer_pool.h"
+#include "bufferpool/pool_interface.h"
+#include "bufferpool/sharded_buffer_pool.h"
+#include "core/lru_k.h"
+#include "core/policy_factory.h"
+#include "sim/table.h"
+#include "storage/sim_disk_manager.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace lruk {
+namespace {
+
+constexpr size_t kFrames = 512;
+constexpr uint64_t kDbPages = 4096;
+constexpr double kWriteFraction = 0.05;
+constexpr size_t kStripes = 8;
+
+struct Cell {
+  std::string pool;
+  size_t shards = 1;
+  int threads = 1;
+  size_t batch_capacity = 0;
+  double ops_per_sec = 0.0;
+  double hit_ratio = 0.0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t ops_issued = 0;
+};
+
+// Zipfian fetch/unpin churn; every op must succeed (the pool is never
+// pinned full), so ops issued is exact by construction.
+void RunCell(PoolInterface& pool, Cell& cell, uint64_t total_ops) {
+  std::vector<PageId> pages;
+  pages.reserve(kDbPages);
+  for (uint64_t i = 0; i < kDbPages; ++i) {
+    auto page = pool.NewPage();
+    if (!page.ok()) {
+      std::fprintf(stderr, "allocation failed: %s\n",
+                   page.status().ToString().c_str());
+      return;
+    }
+    pages.push_back((*page)->id());
+    (void)pool.UnpinPage((*page)->id(), false);
+  }
+  pool.ResetStats();
+
+  RecursiveSkewDistribution dist(0.8, 0.2, kDbPages);
+  uint64_t ops_per_thread = total_ops / static_cast<uint64_t>(cell.threads);
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(cell.threads));
+  for (int t = 0; t < cell.threads; ++t) {
+    workers.emplace_back([&, t] {
+      RandomEngine rng(0xFACE + static_cast<uint64_t>(t));
+      for (uint64_t i = 0; i < ops_per_thread; ++i) {
+        PageId p = pages[dist.Sample(rng) - 1];
+        bool write = rng.NextBernoulli(kWriteFraction);
+        auto page = pool.FetchPage(
+            p, write ? AccessType::kWrite : AccessType::kRead);
+        if (page.ok()) (void)pool.UnpinPage(p, false);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  double seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+
+  BufferPoolStats stats = pool.stats();
+  cell.ops_issued = ops_per_thread * static_cast<uint64_t>(cell.threads);
+  cell.ops_per_sec =
+      seconds > 0 ? static_cast<double>(cell.ops_issued) / seconds : 0;
+  cell.hit_ratio = stats.HitRatio();
+  cell.hits = stats.hits;
+  cell.misses = stats.misses;
+}
+
+std::unique_ptr<ReplacementPolicy> MakeLru2(size_t capacity) {
+  return std::make_unique<LruKPolicy>(
+      LruKOptions{.k = 2, .capacity_hint = capacity});
+}
+
+void WriteJson(const char* path, const std::vector<Cell>& cells,
+               unsigned cores, uint64_t ops, bool accounting_ok,
+               double speedup, bool enforced, bool speedup_ok) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"micro_contention\",\n"
+               "  \"cores\": %u,\n  \"frames\": %zu,\n"
+               "  \"db_pages\": %llu,\n  \"ops_per_cell\": %llu,\n"
+               "  \"cells\": [\n",
+               cores, kFrames, static_cast<unsigned long long>(kDbPages),
+               static_cast<unsigned long long>(ops));
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"pool\": \"%s\", \"shards\": %zu, \"threads\": %d, "
+        "\"batch_capacity\": %zu, \"ops_per_sec\": %.1f, "
+        "\"hit_ratio\": %.4f, \"hits\": %llu, \"misses\": %llu}%s\n",
+        c.pool.c_str(), c.shards, c.threads, c.batch_capacity, c.ops_per_sec,
+        c.hit_ratio, static_cast<unsigned long long>(c.hits),
+        static_cast<unsigned long long>(c.misses),
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"checks\": {\n"
+               "    \"accounting_exact\": %s,\n"
+               "    \"speedup_8t_batch64_vs_batch0\": %.3f,\n"
+               "    \"speedup_enforced\": %s,\n"
+               "    \"speedup_ok\": %s\n  }\n}\n",
+               accounting_ok ? "true" : "false", speedup,
+               enforced ? "true" : "false", speedup_ok ? "true" : "false");
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace lruk
+
+int main(int argc, char** argv) {
+  using namespace lruk;
+
+  const char* json_path = nullptr;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const uint64_t total_ops = quick ? 60000 : 400000;
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  const std::vector<size_t> batch_capacities = {0, 1, 8, 64};
+  unsigned cores = std::thread::hardware_concurrency();
+
+  std::printf(
+      "Batched access recording: Zipfian 80-20 fetch/unpin (%llu pages, "
+      "%zu frames, LRU-2, %.0f%% writes, %u cores)\n\n",
+      static_cast<unsigned long long>(kDbPages), kFrames,
+      kWriteFraction * 100, cores);
+
+  std::vector<Cell> cells;
+  AsciiTable table(
+      {"pool", "threads", "batch", "ops/sec", "hit ratio"});
+
+  double baseline_8t = 0, batched64_8t = 0;
+  for (int threads : thread_counts) {
+    for (size_t batch : batch_capacities) {
+      SimDiskOptions disk_options;
+      disk_options.read_micros = 0.0;  // Measure the latch, not fake I/O.
+      disk_options.write_micros = 0.0;
+      SimDiskManager disk(disk_options);
+      BufferPool pool(
+          kFrames, &disk, MakeLru2(kFrames),
+          BufferPoolOptions{.batch_capacity = batch,
+                            .batch_stripes = batch == 0 ? 1 : kStripes});
+      Cell cell{.pool = "single-latch", .shards = 1, .threads = threads,
+                .batch_capacity = batch};
+      RunCell(pool, cell, total_ops);
+      if (threads == 8 && batch == 0) baseline_8t = cell.ops_per_sec;
+      if (threads == 8 && batch == 64) batched64_8t = cell.ops_per_sec;
+      table.AddRow({cell.pool, AsciiTable::Integer(threads),
+                    AsciiTable::Integer(batch),
+                    AsciiTable::Integer(
+                        static_cast<uint64_t>(cell.ops_per_sec)),
+                    AsciiTable::Fixed(cell.hit_ratio, 3)});
+      cells.push_back(cell);
+    }
+  }
+
+  // Composition row: the same knob through ShardedBufferPool.
+  for (size_t batch : {size_t{0}, size_t{64}}) {
+    SimDiskOptions disk_options;
+    disk_options.read_micros = 0.0;
+    disk_options.write_micros = 0.0;
+    SimDiskManager disk(disk_options);
+    auto factory = MakeShardPolicyFactory(PolicyConfig::LruK(2));
+    if (!factory.ok()) {
+      std::fprintf(stderr, "factory: %s\n",
+                   factory.status().ToString().c_str());
+      return 1;
+    }
+    ShardedBufferPool pool(
+        kFrames, /*num_shards=*/4, &disk, *factory,
+        BufferPoolOptions{.batch_capacity = batch,
+                          .batch_stripes = batch == 0 ? 1 : kStripes});
+    Cell cell{.pool = "sharded x4", .shards = 4, .threads = 8,
+              .batch_capacity = batch};
+    RunCell(pool, cell, total_ops);
+    table.AddRow({cell.pool, AsciiTable::Integer(8),
+                  AsciiTable::Integer(batch),
+                  AsciiTable::Integer(
+                      static_cast<uint64_t>(cell.ops_per_sec)),
+                  AsciiTable::Fixed(cell.hit_ratio, 3)});
+    cells.push_back(cell);
+  }
+  table.Print();
+
+  bool accounting_ok = true;
+  for (const Cell& c : cells) {
+    if (c.hits + c.misses != c.ops_issued) {
+      accounting_ok = false;
+      std::printf("accounting mismatch: %s t=%d b=%zu: %llu + %llu != %llu\n",
+                  c.pool.c_str(), c.threads, c.batch_capacity,
+                  static_cast<unsigned long long>(c.hits),
+                  static_cast<unsigned long long>(c.misses),
+                  static_cast<unsigned long long>(c.ops_issued));
+    }
+  }
+
+  double speedup = baseline_8t > 0 ? batched64_8t / baseline_8t : 0.0;
+  std::printf("\nspeedup (8 threads, batch 64 vs batch 0, single latch): "
+              "%.2fx\n",
+              speedup);
+  bool enforced = cores >= 4;
+  bool speedup_ok = speedup >= 2.0;
+  if (!enforced) {
+    std::printf("note: only %u hardware threads — latch contention needs "
+                ">=4 cores, reporting without enforcement\n",
+                cores);
+    speedup_ok = true;
+  }
+  std::printf("shape: hit+miss totals exactly equal ops in every cell: %s\n",
+              accounting_ok ? "yes" : "NO");
+  std::printf("shape: 8-thread batch-64 throughput >= 2x batch-0 "
+              "(or <4 cores): %s\n",
+              speedup_ok ? "yes" : "NO");
+
+  if (json_path != nullptr) {
+    WriteJson(json_path, cells, cores, total_ops, accounting_ok, speedup,
+              enforced, speedup_ok);
+    std::printf("wrote %s\n", json_path);
+  }
+  return accounting_ok && speedup_ok ? 0 : 1;
+}

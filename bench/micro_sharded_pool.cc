@@ -11,10 +11,15 @@
 //    enforced.
 //  * fidelity: sharding must not cost hit ratio — the 4-shard aggregate
 //    hit ratio stays within 2 points of the single-pool baseline.
+//
+// Flags: --json <path> writes machine-readable results; --quick shrinks
+// the per-cell op count for CI smoke runs.
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -32,17 +37,20 @@ namespace {
 
 constexpr size_t kFrames = 1024;
 constexpr uint64_t kDbPages = 8192;
-constexpr uint64_t kTotalOps = 400000;  // Split across the cell's threads.
 constexpr double kWriteFraction = 0.1;
 
 struct CellResult {
+  std::string pool;
+  size_t shards = 1;
+  int threads = 1;
   double ops_per_sec = 0.0;
   double hit_ratio = 0.0;
 };
 
 // Allocates the database and hammers `pool` with `threads` workers doing
-// Zipfian 80-20 fetch/unpin cycles (10% writes).
-CellResult RunCell(PoolInterface& pool, int threads) {
+// Zipfian 80-20 fetch/unpin cycles (10% writes). `total_ops` is split
+// across the cell's threads.
+CellResult RunCell(PoolInterface& pool, int threads, uint64_t total_ops) {
   std::vector<PageId> pages;
   pages.reserve(kDbPages);
   for (uint64_t i = 0; i < kDbPages; ++i) {
@@ -58,7 +66,7 @@ CellResult RunCell(PoolInterface& pool, int threads) {
   pool.ResetStats();
 
   RecursiveSkewDistribution dist(0.8, 0.2, kDbPages);
-  uint64_t ops_per_thread = kTotalOps / static_cast<uint64_t>(threads);
+  uint64_t ops_per_thread = total_ops / static_cast<uint64_t>(threads);
   auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(threads));
@@ -81,18 +89,67 @@ CellResult RunCell(PoolInterface& pool, int threads) {
                        .count();
 
   CellResult result;
+  result.threads = threads;
   uint64_t total = ops_per_thread * static_cast<uint64_t>(threads);
   result.ops_per_sec = seconds > 0 ? static_cast<double>(total) / seconds : 0;
   result.hit_ratio = pool.stats().HitRatio();
   return result;
 }
 
+void WriteJson(const char* path, const std::vector<CellResult>& cells,
+               unsigned cores, uint64_t ops, double speedup, double hr_delta,
+               bool scaling_ok, bool fidelity_ok) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"micro_sharded_pool\",\n"
+               "  \"cores\": %u,\n  \"frames\": %zu,\n"
+               "  \"db_pages\": %llu,\n  \"ops_per_cell\": %llu,\n"
+               "  \"cells\": [\n",
+               cores, kFrames, static_cast<unsigned long long>(kDbPages),
+               static_cast<unsigned long long>(ops));
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    std::fprintf(f,
+                 "    {\"pool\": \"%s\", \"shards\": %zu, \"threads\": %d, "
+                 "\"ops_per_sec\": %.1f, \"hit_ratio\": %.4f}%s\n",
+                 c.pool.c_str(), c.shards, c.threads, c.ops_per_sec,
+                 c.hit_ratio, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"checks\": {\n"
+               "    \"speedup_4shard_8t_vs_single_8t\": %.3f,\n"
+               "    \"hit_ratio_delta\": %.4f,\n"
+               "    \"scaling_ok\": %s,\n    \"fidelity_ok\": %s\n  }\n}\n",
+               speedup, hr_delta, scaling_ok ? "true" : "false",
+               fidelity_ok ? "true" : "false");
+  std::fclose(f);
+}
+
 }  // namespace
 }  // namespace lruk
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lruk;
 
+  const char* json_path = nullptr;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Split across the cell's threads.
+  const uint64_t total_ops = quick ? 60000 : 400000;
   const std::vector<int> thread_counts = {1, 2, 4, 8};
   const std::vector<size_t> shard_counts = {1, 2, 4, 8};
   unsigned cores = std::thread::hardware_concurrency();
@@ -109,6 +166,7 @@ int main() {
   }
 
   AsciiTable table({"pool", "threads", "ops/sec", "hit ratio"});
+  std::vector<CellResult> cells;
   // cell_ops[shards][threads] for the shape checks; row 0 = single latch.
   double single_8t_ops = 0, single_8t_hr = 0;
   double sharded4_8t_ops = 0, sharded4_8t_hr = 0;
@@ -120,7 +178,9 @@ int main() {
     SimDiskManager disk(disk_options);
     auto policy = MakePolicy(PolicyConfig::LruK(2), PolicyContext{});
     BufferPool pool(kFrames, &disk, std::move(*policy));
-    CellResult r = RunCell(pool, threads);
+    CellResult r = RunCell(pool, threads, total_ops);
+    r.pool = "single-latch";
+    r.shards = 1;
     if (threads == 8) {
       single_8t_ops = r.ops_per_sec;
       single_8t_hr = r.hit_ratio;
@@ -128,6 +188,7 @@ int main() {
     table.AddRow({"single-latch", AsciiTable::Integer(threads),
                   AsciiTable::Integer(static_cast<uint64_t>(r.ops_per_sec)),
                   AsciiTable::Fixed(r.hit_ratio, 3)});
+    cells.push_back(r);
   }
 
   for (size_t shards : shard_counts) {
@@ -137,16 +198,19 @@ int main() {
       disk_options.write_micros = 0.0;
       SimDiskManager disk(disk_options);
       ShardedBufferPool pool(kFrames, shards, &disk, *factory);
-      CellResult r = RunCell(pool, threads);
+      CellResult r = RunCell(pool, threads, total_ops);
+      char label[32];
+      std::snprintf(label, sizeof(label), "sharded x%zu", shards);
+      r.pool = label;
+      r.shards = shards;
       if (shards == 4 && threads == 8) {
         sharded4_8t_ops = r.ops_per_sec;
         sharded4_8t_hr = r.hit_ratio;
       }
-      char label[32];
-      std::snprintf(label, sizeof(label), "sharded x%zu", shards);
       table.AddRow({label, AsciiTable::Integer(threads),
                     AsciiTable::Integer(static_cast<uint64_t>(r.ops_per_sec)),
                     AsciiTable::Fixed(r.hit_ratio, 3)});
+      cells.push_back(r);
     }
   }
   table.Print();
@@ -177,5 +241,10 @@ int main() {
   std::printf("shape: 4-shard aggregate hit ratio within 2 points of "
               "single pool: %s\n",
               fidelity_ok ? "yes" : "NO");
+  if (json_path != nullptr) {
+    WriteJson(json_path, cells, cores, total_ops, speedup, hr_delta,
+              scaling_ok, fidelity_ok);
+    std::printf("wrote %s\n", json_path);
+  }
   return scaling_ok && fidelity_ok ? 0 : 1;
 }

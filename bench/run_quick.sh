@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Quick bench smoke: runs the two contention/scaling microbenchmarks in
+# --quick mode and leaves machine-readable results at the repo root
+# (BENCH_hotpath.json from micro_sharded_pool, BENCH_contention.json from
+# micro_contention). Validates that both files parse as JSON. CI runs this
+# to catch bench regressions and malformed emitters; the full-length runs
+# stay manual (drop --quick).
+#
+# Usage: bench/run_quick.sh            # expects binaries in ./build/bench
+#        BUILD=build-rel bench/run_quick.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD=${BUILD:-build}
+
+if [[ ! -x "$BUILD/bench/micro_sharded_pool" || \
+      ! -x "$BUILD/bench/micro_contention" ]]; then
+  echo "bench binaries not found under $BUILD/bench — build first:" >&2
+  echo "  cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
+  exit 1
+fi
+
+"$BUILD/bench/micro_sharded_pool" --quick --json BENCH_hotpath.json
+"$BUILD/bench/micro_contention" --quick --json BENCH_contention.json
+
+for f in BENCH_hotpath.json BENCH_contention.json; do
+  python3 -m json.tool "$f" > /dev/null
+  echo "$f: valid JSON"
+done

@@ -6,11 +6,20 @@
 namespace lruk {
 
 BufferPool::BufferPool(size_t capacity, DiskManager* disk,
-                       std::unique_ptr<ReplacementPolicy> policy)
-    : capacity_(capacity), disk_(disk), policy_(std::move(policy)) {
+                       std::unique_ptr<ReplacementPolicy> policy,
+                       BufferPoolOptions options)
+    : capacity_(capacity),
+      disk_(disk),
+      policy_(std::move(policy)),
+      options_(options) {
   LRUK_ASSERT(capacity_ >= 1, "buffer pool needs at least one frame");
   LRUK_ASSERT(disk_ != nullptr, "buffer pool needs a disk manager");
   LRUK_ASSERT(policy_ != nullptr, "buffer pool needs a replacement policy");
+  if (options_.batch_capacity > 0) {
+    access_buffer_ = std::make_unique<AccessBuffer>(
+        options_.batch_capacity,
+        options_.batch_stripes == 0 ? 1 : options_.batch_stripes);
+  }
   frames_.resize(capacity_);
   free_frames_.reserve(capacity_);
   for (FrameId f = 0; f < capacity_; ++f) {
@@ -61,20 +70,44 @@ Result<FrameId> BufferPool::AcquireFrame() {
   return f;
 }
 
+void BufferPool::DrainAccessBufferLocked() const {
+  // unique_ptr members are shallow-const, so observation paths (stats)
+  // can drain through the same helper as mutating ones.
+  if (access_buffer_ != nullptr) access_buffer_->Drain(*policy_);
+}
+
 Result<Page*> BufferPool::FetchPage(PageId p, AccessType type) {
-  std::lock_guard<std::mutex> guard(latch_);
+  std::unique_lock<std::mutex> guard(latch_);
   auto it = page_table_.find(p);
   if (it != page_table_.end()) {
     Page& page = frames_[it->second];
     ++stats_.hits;
-    policy_->RecordAccess(p, type);
+    if (access_buffer_ == nullptr) policy_->RecordAccess(p, type);
     if (page.pin_count_ == 0) policy_->SetEvictable(p, false);
     ++page.pin_count_;
     if (type == AccessType::kWrite) page.dirty_ = true;
+    if (access_buffer_ != nullptr) {
+      // Batched hit path: publish the reference outside the latch. The
+      // pin taken above keeps the page resident (and un-evictable) until
+      // the record is drained, so a deferred RecordAccess can never land
+      // on a non-resident page.
+      guard.unlock();
+      if (!access_buffer_->TryPush({p, /*process=*/0, type})) {
+        // The stripe is full: drain under the latch and apply this
+        // (newest) reference directly, preserving FIFO order.
+        guard.lock();
+        DrainAccessBufferLocked();
+        policy_->RecordAccess(p, type);
+      }
+    }
     return &page;
   }
 
   ++stats_.misses;
+  // Deferred references precede this fault in the reference string; apply
+  // them before the policy sees the admission (and before any eviction
+  // decision, which must act on a fully drained view).
+  DrainAccessBufferLocked();
   policy_->PrepareAdmit(p);
   auto frame = AcquireFrame();
   if (!frame.ok()) return frame.status();
@@ -113,6 +146,8 @@ Result<Page*> BufferPool::AdmitNewPage(PageId p) {
 }
 
 Result<Page*> BufferPool::AdmitNewPageLocked(PageId p) {
+  DrainAccessBufferLocked();  // As on the miss path: admit/evict on a
+                              // fully drained view.
   policy_->PrepareAdmit(p);
   auto frame = AcquireFrame();
   if (!frame.ok()) return frame.status();
@@ -146,6 +181,7 @@ Status BufferPool::UnpinPage(PageId p, bool dirty) {
 
 Status BufferPool::FlushPage(PageId p) {
   std::lock_guard<std::mutex> guard(latch_);
+  DrainAccessBufferLocked();
   auto it = page_table_.find(p);
   if (it == page_table_.end()) {
     return Status::NotFound("flush of non-resident page " + std::to_string(p));
@@ -158,6 +194,9 @@ Status BufferPool::FlushPage(PageId p) {
 
 Status BufferPool::FlushAll() {
   std::lock_guard<std::mutex> guard(latch_);
+  // Also the teardown drain: the destructor flushes, so no reference is
+  // ever lost to a dropped buffer.
+  DrainAccessBufferLocked();
   for (const auto& [p, frame] : page_table_) {
     Page& page = frames_[frame];
     if (!page.dirty_) continue;
@@ -169,6 +208,11 @@ Status BufferPool::FlushAll() {
 
 Status BufferPool::DeletePage(PageId p) {
   std::lock_guard<std::mutex> guard(latch_);
+  // Any buffered reference to p must reach the policy before Remove()
+  // forgets the page (a post-Remove RecordAccess would fault). A record
+  // not yet visible here implies its producer still pins p, in which case
+  // the delete fails below anyway.
+  DrainAccessBufferLocked();
   auto it = page_table_.find(p);
   if (it != page_table_.end()) {
     Page& page = frames_[it->second];

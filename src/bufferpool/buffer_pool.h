@@ -17,7 +17,10 @@
 // concurrent readers are safe; concurrent writers to the same page must
 // coordinate among themselves (as with per-page latches in a real DBMS).
 // For multi-core scaling, ShardedBufferPool composes several of these
-// pools behind the same PoolInterface.
+// pools behind the same PoolInterface, and BufferPoolOptions::
+// batch_capacity moves the policy-bookkeeping half of the hit path out
+// of the latch hold entirely (latch-free AccessBuffer, drained in
+// batches).
 
 #ifndef LRUK_BUFFERPOOL_BUFFER_POOL_H_
 #define LRUK_BUFFERPOOL_BUFFER_POOL_H_
@@ -29,17 +32,40 @@
 
 #include "bufferpool/page.h"
 #include "bufferpool/pool_interface.h"
+#include "core/access_buffer.h"
 #include "core/replacement_policy.h"
 #include "storage/disk_manager.h"
 #include "util/status.h"
 
 namespace lruk {
 
+// Knobs shared by BufferPool and (per shard) ShardedBufferPool.
+struct BufferPoolOptions {
+  // Batched access recording (DESIGN.md "Batched access recording").
+  // 0 — disabled: every hit applies ReplacementPolicy::RecordAccess under
+  //     the pool latch, today's exact semantics.
+  // >=1 — hits enqueue an AccessRecord into a latch-free AccessBuffer of
+  //     this per-stripe capacity (rounded up to a power of two) after the
+  //     latch is released; the buffer is drained in FIFO order under the
+  //     latch when a stripe fills, before any admission/eviction/removal,
+  //     and on flush/stats calls. Single-threaded, the policy sees the
+  //     exact same call sequence as batch_capacity = 0 (drains preserve
+  //     order), so replacement behaviour is identical; multi-threaded, a
+  //     reference may be applied up to one buffer-capacity late.
+  size_t batch_capacity = 0;
+  // Number of independent rings inside the AccessBuffer. 1 =
+  // one shared ring per pool/shard; >= the thread count approximates a
+  // per-thread buffer (uncontended per-stripe producer mutex, per-stripe
+  // rather than global FIFO).
+  size_t batch_stripes = 1;
+};
+
 class BufferPool final : public PoolInterface {
  public:
   // `disk` must outlive the pool. The pool owns the policy.
   BufferPool(size_t capacity, DiskManager* disk,
-             std::unique_ptr<ReplacementPolicy> policy);
+             std::unique_ptr<ReplacementPolicy> policy,
+             BufferPoolOptions options = {});
   ~BufferPool() override;
 
   Result<Page*> FetchPage(PageId p,
@@ -68,15 +94,20 @@ class BufferPool final : public PoolInterface {
     return page_table_.contains(p);
   }
   BufferPoolStats stats() const override {
+    // Observation points drain so the policy's view is current (and so a
+    // caller inspecting the policy right after sees no pending records).
     std::lock_guard<std::mutex> guard(latch_);
+    DrainAccessBufferLocked();
     return stats_;
   }
   void ResetStats() override {
     std::lock_guard<std::mutex> guard(latch_);
+    DrainAccessBufferLocked();
     stats_ = BufferPoolStats{};
   }
   ReplacementPolicy& policy() { return *policy_; }
   DiskManager& disk() { return *disk_; }
+  const BufferPoolOptions& options() const { return options_; }
 
  private:
   // Finds a frame for a new resident page: the free list first, then a
@@ -84,11 +115,18 @@ class BufferPool final : public PoolInterface {
   Result<FrameId> AcquireFrame();
   // NewPage/AdmitNewPage body; the latch is already held.
   Result<Page*> AdmitNewPageLocked(PageId p);
+  // Applies every buffered access record to the policy. Caller holds the
+  // latch. Declared const because observation paths (stats) drain too;
+  // the mutation happens through the shallow-const member pointers.
+  void DrainAccessBufferLocked() const;
 
   mutable std::mutex latch_;
   size_t capacity_;
   DiskManager* disk_;
   std::unique_ptr<ReplacementPolicy> policy_;
+  BufferPoolOptions options_;
+  // Present iff options_.batch_capacity > 0.
+  std::unique_ptr<AccessBuffer> access_buffer_;
   std::vector<Page> frames_;
   std::vector<FrameId> free_frames_;
   std::unordered_map<PageId, FrameId> page_table_;

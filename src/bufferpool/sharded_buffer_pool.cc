@@ -10,7 +10,8 @@ bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
 ShardedBufferPool::ShardedBufferPool(size_t capacity, size_t num_shards,
                                      DiskManager* disk,
-                                     ShardPolicyFactory factory)
+                                     ShardPolicyFactory factory,
+                                     BufferPoolOptions shard_options)
     : capacity_(capacity), shard_mask_(num_shards - 1), disk_(disk) {
   LRUK_ASSERT(IsPowerOfTwo(num_shards),
               "shard count must be a power of two");
@@ -28,8 +29,8 @@ ShardedBufferPool::ShardedBufferPool(size_t capacity, size_t num_shards,
     size_t shard_capacity = base + (i < remainder ? 1 : 0);
     auto policy = factory(i, shard_capacity);
     LRUK_ASSERT(policy != nullptr, "shard policy factory returned null");
-    shards_.push_back(std::make_unique<BufferPool>(shard_capacity, disk_,
-                                                   std::move(policy)));
+    shards_.push_back(std::make_unique<BufferPool>(
+        shard_capacity, disk_, std::move(policy), shard_options));
   }
 }
 

@@ -63,8 +63,13 @@ class ShardedBufferPool final : public PoolInterface {
   // two, <= capacity). `disk` must outlive the pool and be thread-safe.
   // `factory` is invoked once per shard as factory(shard_index,
   // shard_capacity) and must return a fresh policy each time.
+  // `shard_options` is applied to every shard; batch_capacity > 0 turns
+  // on batched access recording per shard (each shard drains its own
+  // AccessBuffer under its own latch — see DESIGN.md "Batched access
+  // recording").
   ShardedBufferPool(size_t capacity, size_t num_shards, DiskManager* disk,
-                    ShardPolicyFactory factory);
+                    ShardPolicyFactory factory,
+                    BufferPoolOptions shard_options = {});
 
   Result<Page*> FetchPage(PageId p,
                           AccessType type = AccessType::kRead) override;

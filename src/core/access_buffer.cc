@@ -1,0 +1,98 @@
+#include "core/access_buffer.h"
+
+namespace lruk {
+
+namespace {
+size_t RoundUpPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+AccessBuffer::Stripe::Stripe(size_t capacity) : cells(capacity) {
+  for (size_t i = 0; i < capacity; ++i) {
+    cells[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+AccessBuffer::AccessBuffer(size_t capacity, size_t stripes)
+    : capacity_(capacity) {
+  LRUK_ASSERT(capacity >= 1, "access buffer needs capacity >= 1");
+  LRUK_ASSERT(stripes >= 1, "access buffer needs at least one stripe");
+  // Keep >= 2 physical cells so a lap's published sequence (ticket + 1)
+  // never collides with the next ticket; TryPush enforces the logical
+  // `capacity_` itself.
+  size_t rounded = RoundUpPowerOfTwo(capacity < 2 ? 2 : capacity);
+  mask_ = rounded - 1;
+  stripes_.reserve(stripes);
+  for (size_t i = 0; i < stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>(rounded));
+  }
+  scratch_.reserve(rounded);
+}
+
+size_t AccessBuffer::ThreadIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+bool AccessBuffer::TryPush(const AccessRecord& record) {
+  Stripe& stripe = *stripes_[ThreadIndex() % stripes_.size()];
+  std::lock_guard<std::mutex> lock(stripe.producer_mutex);
+  uint64_t ticket = stripe.tail;
+  // Logical capacity bound. A stale `head` only under-counts drains and
+  // makes this conservatively refuse; the cell check below is the hard
+  // occupancy bound at the physical ring size.
+  if (ticket - stripe.head.load(std::memory_order_relaxed) >= capacity_) {
+    return false;
+  }
+  Cell& cell = stripe.cells[ticket & mask_];
+  // The acquire load pairs with the drain's release restore: seeing
+  // seq == ticket proves the previous lap's record was fully consumed, so
+  // overwriting `record` is safe. seq != ticket means the cell is still
+  // un-drained — the ring is full at its physical size.
+  if (cell.seq.load(std::memory_order_acquire) != ticket) {
+    return false;
+  }
+  cell.record = record;
+  cell.seq.store(ticket + 1, std::memory_order_release);
+  // Publish before advancing the tail: the stripe's published region stays
+  // contiguous, which is what the drain's stop-at-first-unpublished scan
+  // relies on (see the header — no record can stall behind a gap).
+  stripe.tail = ticket + 1;
+  return true;
+}
+
+size_t AccessBuffer::Drain(ReplacementPolicy& policy) {
+  size_t applied = 0;
+  for (auto& owned : stripes_) {
+    Stripe& stripe = *owned;
+    scratch_.clear();
+    uint64_t ticket = stripe.head.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = stripe.cells[ticket & mask_];
+      uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      if (static_cast<int64_t>(seq) - static_cast<int64_t>(ticket + 1) < 0) {
+        // Empty, or a producer in TryPush has not published this cell
+        // yet. Stop here: publication is serialized per stripe, so
+        // nothing can be published beyond this cell either, and the
+        // in-flight record's page is still pinned by its producer (see
+        // header) — the next drain picks it up.
+        break;
+      }
+      scratch_.push_back(cell.record);
+      cell.seq.store(ticket + mask_ + 1, std::memory_order_release);
+      ++ticket;
+    }
+    stripe.head.store(ticket, std::memory_order_relaxed);
+    if (!scratch_.empty()) {
+      policy.RecordAccessBatch(scratch_.data(), scratch_.size());
+      applied += scratch_.size();
+    }
+  }
+  return applied;
+}
+
+}  // namespace lruk

@@ -1,0 +1,111 @@
+// AccessBuffer — a fixed-capacity, latch-free staging area for page
+// references, decoupling *observing* a reference (hit path, no pool latch
+// for policy bookkeeping) from *applying* it to a ReplacementPolicy (batch
+// drain under the pool latch). This is the mechanism behind the pools'
+// `batch_capacity` option (see DESIGN.md "Batched access recording").
+//
+// Structure: one or more stripes, each a bounded ring of sequence-numbered
+// cells. A producer takes the stripe's micro-mutex (never the pool latch),
+// writes the `(page, process, access_type)` record into the tail cell,
+// publishes it with a release store on the cell's sequence number, and
+// only then advances the tail — so the published region of a stripe is
+// always contiguous. With `stripes == 1` the buffer is shared per pool
+// (per shard); with more stripes each thread hashes to its own ring, so
+// `stripes` at or above the expected thread count makes the micro-mutex
+// uncontended ("per-thread" mode).
+//
+// Contiguity is load-bearing, not cosmetic. An earlier revision used a
+// fully lock-free multi-producer protocol (claim a ticket by CAS, publish
+// later); a producer preempted between claim and publish then left a *gap*
+// that stalled records published behind it by other threads — records
+// whose pages were already unpinned and could be evicted before their
+// reference was ever applied. Serializing claim+publish per stripe removes
+// the gap state entirely: every record a drain cannot see belongs to a
+// producer that has not yet returned from FetchPage and therefore still
+// holds a pin on its page (the pools' safety invariant), so victim
+// selection after a drain can never choose a page with an unapplied
+// reference.
+//
+// Draining runs under the pool latch (single consumer at a time) and
+// applies records to the policy in per-stripe FIFO order via
+// RecordAccessBatch; it never takes the producer mutexes.
+//
+// TryPush returning false means the target stripe is full: the caller must
+// take the latch, Drain(), and apply its own reference directly — that
+// keeps FIFO order and bounds staleness at the buffer capacity.
+
+#ifndef LRUK_CORE_ACCESS_BUFFER_H_
+#define LRUK_CORE_ACCESS_BUFFER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/replacement_policy.h"
+#include "core/types.h"
+#include "util/macros.h"
+
+namespace lruk {
+
+class AccessBuffer {
+ public:
+  // `capacity` (>= 1) is the per-stripe record count at which TryPush
+  // starts refusing; the physical ring is the next power of two (min 2).
+  // `stripes` >= 1; threads are spread across stripes by a per-thread id,
+  // so stripes >= the expected thread count approximates one buffer per
+  // thread.
+  explicit AccessBuffer(size_t capacity, size_t stripes = 1);
+  LRUK_DISALLOW_COPY_AND_MOVE(AccessBuffer);
+
+  // Enqueue into the calling thread's stripe under that stripe's
+  // micro-mutex (uncontended when stripes >= threads; never the pool
+  // latch). Returns false when the stripe is full; the caller then drains
+  // under its latch and applies the record itself.
+  bool TryPush(const AccessRecord& record);
+
+  // Applies every published record to `policy` in per-stripe FIFO order
+  // (via RecordAccessBatch) and returns how many were applied. Caller must
+  // hold the latch that serializes policy access: the drain is
+  // single-consumer, while concurrent TryPush calls remain safe.
+  size_t Drain(ReplacementPolicy& policy);
+
+  // Per-stripe record count at which TryPush refuses (the configured
+  // capacity; the physical ring may be one power-of-two larger).
+  size_t stripe_capacity() const { return capacity_; }
+  size_t stripe_count() const { return stripes_.size(); }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> seq{0};
+    AccessRecord record;
+  };
+
+  // Ring with sequence-numbered cells: cell i carries seq == ticket while
+  // empty, the producer publishes seq == ticket + 1, and the consumer
+  // restores seq = ticket + ring size for the next lap. `tail` (next
+  // producer ticket) is guarded by `producer_mutex`; `head` (next consumer
+  // ticket) is written by the drain and read by producers for the
+  // fullness check.
+  struct Stripe {
+    explicit Stripe(size_t capacity);
+    std::vector<Cell> cells;
+    std::mutex producer_mutex;
+    uint64_t tail = 0;
+    alignas(64) std::atomic<uint64_t> head{0};
+  };
+
+  // Stable small integer per thread, used to pick a stripe.
+  static size_t ThreadIndex();
+
+  size_t capacity_;
+  size_t mask_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  // Drain-side scratch; guarded by the caller's latch like the drain.
+  std::vector<AccessRecord> scratch_;
+};
+
+}  // namespace lruk
+
+#endif  // LRUK_CORE_ACCESS_BUFFER_H_

@@ -5,11 +5,17 @@
 namespace lruk {
 
 HistoryTable::HistoryTable(int k, Timestamp retained_information_period,
-                           size_t max_nonresident_blocks)
+                           size_t max_nonresident_blocks,
+                           size_t capacity_hint)
     : k_(k),
       rip_(retained_information_period),
       max_nonresident_(max_nonresident_blocks) {
   LRUK_ASSERT(k >= 1, "LRU-K requires K >= 1");
+  if (capacity_hint > 0) {
+    // Resident blocks plus an equal measure of history-only headroom; the
+    // table keeps growing past this if the retained set demands it.
+    blocks_.reserve(capacity_hint * 2);
+  }
 }
 
 HistoryBlock* HistoryTable::Find(PageId p) {

@@ -65,8 +65,11 @@ class HistoryTable {
   // bounds the history-only blocks (0 = unbounded) — when the bound is
   // exceeded, the non-resident block with the oldest LAST is dropped
   // (Section 5's open question about history space, made a knob).
+  // `capacity_hint` (0 = none) pre-sizes the hash buckets for the expected
+  // resident count plus non-resident headroom, so warm-up admissions do
+  // not trigger a rehash storm.
   HistoryTable(int k, Timestamp retained_information_period,
-               size_t max_nonresident_blocks = 0);
+               size_t max_nonresident_blocks = 0, size_t capacity_hint = 0);
 
   int k() const { return k_; }
   size_t size() const { return blocks_.size(); }

@@ -8,7 +8,7 @@ LruKPolicy::LruKPolicy(LruKOptions options)
     : options_(options),
       name_("LRU-" + std::to_string(options.k)),
       table_(options.k, options.retained_information_period,
-             options.max_nonresident_history) {
+             options.max_nonresident_history, options.capacity_hint) {
   LRUK_ASSERT(options_.k >= 1, "LRU-K requires K >= 1");
 }
 
@@ -56,7 +56,13 @@ void LruKPolicy::RecordAccess(PageId p, AccessType /*type*/) {
     // A new, uncorrelated reference (Figure 2.1, then-branch): close the
     // correlated period and credit only its start-to-start interval.
     Timestamp correlation_period = block->last - block->hist.front();
-    if (block->evictable) queue_.erase(KeyFor(p, *block));
+    // The victim index is repositioned via extract()/insert() of the same
+    // node so the hot hit path never round-trips the allocator.
+    std::set<VictimKey>::node_type node;
+    if (block->evictable) {
+      node = queue_.extract(KeyFor(p, *block));
+      LRUK_ASSERT(!node.empty(), "evictable page missing from victim index");
+    }
     for (size_t i = block->hist.size() - 1; i >= 1; --i) {
       // Simultaneous shift; unknown entries (0) stay unknown.
       block->hist[i] =
@@ -64,7 +70,10 @@ void LruKPolicy::RecordAccess(PageId p, AccessType /*type*/) {
     }
     block->hist.front() = t;
     block->last = t;
-    if (block->evictable) queue_.insert(KeyFor(p, *block));
+    if (block->evictable) {
+      node.value() = KeyFor(p, *block);
+      queue_.insert(std::move(node));
+    }
   } else {
     // A correlated reference: only LAST(p) moves; the history (and thus the
     // page's position in the victim order) is unchanged.

@@ -57,6 +57,11 @@ struct LruKOptions {
   // knob behind the paper's Section 5 open question, swept by
   // bench/ablation_memory_budget.
   size_t max_nonresident_history = 0;
+  // Expected resident-page count (the owning pool's capacity). Pre-sizes
+  // the history table's hash buckets so warm-up does not rehash on every
+  // few admissions; 0 = no hint. MakePolicy fills it from
+  // PolicyContext::capacity when unset.
+  size_t capacity_hint = 0;
   // Use the paper's O(n) victim scan instead of the ordered index.
   bool use_linear_scan = false;
   // Distinguish processes when deciding whether a reference is correlated

@@ -19,9 +19,11 @@ Result<std::unique_ptr<ReplacementPolicy>> MakePolicy(
   switch (config.kind) {
     case PolicyKind::kLru:
       return std::unique_ptr<ReplacementPolicy>(new LruPolicy());
-    case PolicyKind::kLruK:
-      return std::unique_ptr<ReplacementPolicy>(
-          new LruKPolicy(config.lru_k));
+    case PolicyKind::kLruK: {
+      LruKOptions options = config.lru_k;
+      if (options.capacity_hint == 0) options.capacity_hint = context.capacity;
+      return std::unique_ptr<ReplacementPolicy>(new LruKPolicy(options));
+    }
     case PolicyKind::kLfu:
       return std::unique_ptr<ReplacementPolicy>(new LfuPolicy(config.lfu));
     case PolicyKind::kFifo:

@@ -55,6 +55,18 @@ class ReplacementPolicy {
   // IsResident(p). One clock tick.
   virtual void RecordAccess(PageId p, AccessType type) = 0;
 
+  // Applies `n` deferred references in order, each one clock tick, with
+  // the same outcome as calling SetReferencingProcess + RecordAccess per
+  // record. Precondition: every record's page is resident. Buffer pools
+  // with batched access recording drain their AccessBuffer through this
+  // entry point; policies may override it to exploit batch locality.
+  virtual void RecordAccessBatch(const AccessRecord* records, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      SetReferencingProcess(records[i].process);
+      RecordAccess(records[i].page, records[i].type);
+    }
+  }
+
   // Makes `p` resident and records the reference that faulted it in.
   // Precondition: !IsResident(p). One clock tick. The caller is responsible
   // for having created room (Evict) first; policies do not enforce a

@@ -35,6 +35,16 @@ enum class AccessType : uint8_t {
   kWrite = 1,
 };
 
+// One deferred page reference: what a buffer pool's hit path captures when
+// batched access recording is enabled, and what
+// ReplacementPolicy::RecordAccessBatch later applies. `process` feeds
+// SetReferencingProcess for policies with per-process correlation.
+struct AccessRecord {
+  PageId page = kInvalidPageId;
+  uint32_t process = 0;
+  AccessType type = AccessType::kRead;
+};
+
 }  // namespace lruk
 
 #endif  // LRUK_CORE_TYPES_H_
