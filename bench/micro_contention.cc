@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "bufferpool/buffer_pool.h"
 #include "bufferpool/pool_interface.h"
 #include "bufferpool/sharded_buffer_pool.h"
@@ -54,11 +55,19 @@ struct Cell {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t ops_issued = 0;
+  // AccessBuffer drain counters (all zero when batch_capacity == 0) — the
+  // observability behind DESIGN.md's batch-capacity guidance: records per
+  // drain shows whether batching amortizes anything or just adds the
+  // enqueue hop.
+  AccessBufferStats buffer_stats;
 };
 
 // Zipfian fetch/unpin churn; every op must succeed (the pool is never
-// pinned full), so ops issued is exact by construction.
-void RunCell(PoolInterface& pool, Cell& cell, uint64_t total_ops) {
+// pinned full), so ops issued is exact by construction. `Pool` is
+// BufferPool or ShardedBufferPool (both expose access_buffer_stats(),
+// which PoolInterface does not).
+template <typename Pool>
+void RunCell(Pool& pool, Cell& cell, uint64_t total_ops) {
   std::vector<PageId> pages;
   pages.reserve(kDbPages);
   for (uint64_t i = 0; i < kDbPages; ++i) {
@@ -72,6 +81,9 @@ void RunCell(PoolInterface& pool, Cell& cell, uint64_t total_ops) {
     (void)pool.UnpinPage((*page)->id(), false);
   }
   pool.ResetStats();
+  // Counters are lifetime totals; snapshot after setup so the reported
+  // drain numbers cover only the measured churn.
+  AccessBufferStats setup_stats = pool.access_buffer_stats();
 
   RecursiveSkewDistribution dist(0.8, 0.2, kDbPages);
   uint64_t ops_per_thread = total_ops / static_cast<uint64_t>(cell.threads);
@@ -102,6 +114,21 @@ void RunCell(PoolInterface& pool, Cell& cell, uint64_t total_ops) {
   cell.hit_ratio = stats.HitRatio();
   cell.hits = stats.hits;
   cell.misses = stats.misses;
+  AccessBufferStats end_stats = pool.access_buffer_stats();
+  cell.buffer_stats.drains = end_stats.drains - setup_stats.drains;
+  cell.buffer_stats.drained_records =
+      end_stats.drained_records - setup_stats.drained_records;
+  cell.buffer_stats.empty_drains =
+      end_stats.empty_drains - setup_stats.empty_drains;
+  cell.buffer_stats.full_pushes =
+      end_stats.full_pushes - setup_stats.full_pushes;
+}
+
+double RecordsPerDrain(const AccessBufferStats& s) {
+  return s.drains > 0
+             ? static_cast<double>(s.drained_records) /
+                   static_cast<double>(s.drains)
+             : 0.0;
 }
 
 std::unique_ptr<ReplacementPolicy> MakeLru2(size_t capacity) {
@@ -109,17 +136,19 @@ std::unique_ptr<ReplacementPolicy> MakeLru2(size_t capacity) {
       LruKOptions{.k = 2, .capacity_hint = capacity});
 }
 
-void WriteJson(const char* path, const std::vector<Cell>& cells,
-               unsigned cores, uint64_t ops, bool accounting_ok,
-               double speedup, bool enforced, bool speedup_ok) {
+void WriteJson(const char* path, const BenchProvenance& provenance,
+               const std::vector<Cell>& cells, unsigned cores, uint64_t ops,
+               bool accounting_ok, double speedup, bool enforced,
+               bool speedup_ok) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
     return;
   }
+  std::fprintf(f, "{\n  \"bench\": \"micro_contention\",\n");
+  WriteProvenanceJson(f, provenance);
   std::fprintf(f,
-               "{\n  \"bench\": \"micro_contention\",\n"
-               "  \"cores\": %u,\n  \"frames\": %zu,\n"
+               ",\n  \"cores\": %u,\n  \"frames\": %zu,\n"
                "  \"db_pages\": %llu,\n  \"ops_per_cell\": %llu,\n"
                "  \"cells\": [\n",
                cores, kFrames, static_cast<unsigned long long>(kDbPages),
@@ -130,11 +159,18 @@ void WriteJson(const char* path, const std::vector<Cell>& cells,
         f,
         "    {\"pool\": \"%s\", \"shards\": %zu, \"threads\": %d, "
         "\"batch_capacity\": %zu, \"ops_per_sec\": %.1f, "
-        "\"hit_ratio\": %.4f, \"hits\": %llu, \"misses\": %llu}%s\n",
+        "\"hit_ratio\": %.4f, \"hits\": %llu, \"misses\": %llu, "
+        "\"drains\": %llu, \"drained_records\": %llu, "
+        "\"empty_drains\": %llu, \"full_pushes\": %llu, "
+        "\"records_per_drain\": %.1f}%s\n",
         c.pool.c_str(), c.shards, c.threads, c.batch_capacity, c.ops_per_sec,
         c.hit_ratio, static_cast<unsigned long long>(c.hits),
         static_cast<unsigned long long>(c.misses),
-        i + 1 < cells.size() ? "," : "");
+        static_cast<unsigned long long>(c.buffer_stats.drains),
+        static_cast<unsigned long long>(c.buffer_stats.drained_records),
+        static_cast<unsigned long long>(c.buffer_stats.empty_drains),
+        static_cast<unsigned long long>(c.buffer_stats.full_pushes),
+        RecordsPerDrain(c.buffer_stats), i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f,
                "  ],\n  \"checks\": {\n"
@@ -155,13 +191,19 @@ int main(int argc, char** argv) {
 
   const char* json_path = nullptr;
   bool quick = false;
+  BenchProvenance provenance;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (ParseProvenanceFlag(argc, argv, &i, &provenance)) {
+      // consumed
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--json <path>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json <path>] [--git-sha <sha>] "
+                   "[--build-type <type>] [--sanitizer <name>]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -178,8 +220,8 @@ int main(int argc, char** argv) {
       kWriteFraction * 100, cores);
 
   std::vector<Cell> cells;
-  AsciiTable table(
-      {"pool", "threads", "batch", "ops/sec", "hit ratio"});
+  AsciiTable table({"pool", "threads", "batch", "ops/sec", "hit ratio",
+                    "drains", "recs/drain", "full pushes"});
 
   double baseline_8t = 0, batched64_8t = 0;
   for (int threads : thread_counts) {
@@ -201,7 +243,10 @@ int main(int argc, char** argv) {
                     AsciiTable::Integer(batch),
                     AsciiTable::Integer(
                         static_cast<uint64_t>(cell.ops_per_sec)),
-                    AsciiTable::Fixed(cell.hit_ratio, 3)});
+                    AsciiTable::Fixed(cell.hit_ratio, 3),
+                    AsciiTable::Integer(cell.buffer_stats.drains),
+                    AsciiTable::Fixed(RecordsPerDrain(cell.buffer_stats), 1),
+                    AsciiTable::Integer(cell.buffer_stats.full_pushes)});
       cells.push_back(cell);
     }
   }
@@ -229,7 +274,10 @@ int main(int argc, char** argv) {
                   AsciiTable::Integer(batch),
                   AsciiTable::Integer(
                       static_cast<uint64_t>(cell.ops_per_sec)),
-                  AsciiTable::Fixed(cell.hit_ratio, 3)});
+                  AsciiTable::Fixed(cell.hit_ratio, 3),
+                  AsciiTable::Integer(cell.buffer_stats.drains),
+                  AsciiTable::Fixed(RecordsPerDrain(cell.buffer_stats), 1),
+                  AsciiTable::Integer(cell.buffer_stats.full_pushes)});
     cells.push_back(cell);
   }
   table.Print();
@@ -265,8 +313,8 @@ int main(int argc, char** argv) {
               speedup_ok ? "yes" : "NO");
 
   if (json_path != nullptr) {
-    WriteJson(json_path, cells, cores, total_ops, accounting_ok, speedup,
-              enforced, speedup_ok);
+    WriteJson(json_path, provenance, cells, cores, total_ops, accounting_ok,
+              speedup, enforced, speedup_ok);
     std::printf("wrote %s\n", json_path);
   }
   return accounting_ok && speedup_ok ? 0 : 1;

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "bufferpool/buffer_pool.h"
 #include "bufferpool/pool_interface.h"
 #include "bufferpool/sharded_buffer_pool.h"
@@ -96,17 +97,19 @@ CellResult RunCell(PoolInterface& pool, int threads, uint64_t total_ops) {
   return result;
 }
 
-void WriteJson(const char* path, const std::vector<CellResult>& cells,
-               unsigned cores, uint64_t ops, double speedup, double hr_delta,
+void WriteJson(const char* path, const BenchProvenance& provenance,
+               const std::vector<CellResult>& cells, unsigned cores,
+               uint64_t ops, double speedup, double hr_delta,
                bool scaling_ok, bool fidelity_ok) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
     return;
   }
+  std::fprintf(f, "{\n  \"bench\": \"micro_sharded_pool\",\n");
+  WriteProvenanceJson(f, provenance);
   std::fprintf(f,
-               "{\n  \"bench\": \"micro_sharded_pool\",\n"
-               "  \"cores\": %u,\n  \"frames\": %zu,\n"
+               ",\n  \"cores\": %u,\n  \"frames\": %zu,\n"
                "  \"db_pages\": %llu,\n  \"ops_per_cell\": %llu,\n"
                "  \"cells\": [\n",
                cores, kFrames, static_cast<unsigned long long>(kDbPages),
@@ -137,13 +140,19 @@ int main(int argc, char** argv) {
 
   const char* json_path = nullptr;
   bool quick = false;
+  BenchProvenance provenance;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (ParseProvenanceFlag(argc, argv, &i, &provenance)) {
+      // consumed
     } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--json <path>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json <path>] [--git-sha <sha>] "
+                   "[--build-type <type>] [--sanitizer <name>]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -242,8 +251,8 @@ int main(int argc, char** argv) {
               "single pool: %s\n",
               fidelity_ok ? "yes" : "NO");
   if (json_path != nullptr) {
-    WriteJson(json_path, cells, cores, total_ops, speedup, hr_delta,
-              scaling_ok, fidelity_ok);
+    WriteJson(json_path, provenance, cells, cores, total_ops, speedup,
+              hr_delta, scaling_ok, fidelity_ok);
     std::printf("wrote %s\n", json_path);
   }
   return scaling_ok && fidelity_ok ? 0 : 1;

@@ -1,29 +1,67 @@
 #!/usr/bin/env bash
-# Quick bench smoke: runs the two contention/scaling microbenchmarks in
-# --quick mode and leaves machine-readable results at the repo root
+# Quick bench smoke: runs the three hand-rolled microbenchmarks in --quick
+# mode and leaves machine-readable results at the repo root
 # (BENCH_hotpath.json from micro_sharded_pool, BENCH_contention.json from
-# micro_contention). Validates that both files parse as JSON. CI runs this
-# to catch bench regressions and malformed emitters; the full-length runs
-# stay manual (drop --quick).
+# micro_contention, BENCH_policy_overhead.json from micro_policy_overhead).
+# Each JSON is stamped with provenance (git SHA, CMake build type,
+# sanitizer) so a result file can always be traced to the commit and build
+# flavour that produced it. Validates that every file parses as JSON. CI
+# runs this to catch bench regressions and malformed emitters; the
+# full-length runs stay manual (--full).
 #
-# Usage: bench/run_quick.sh            # expects binaries in ./build/bench
+# Usage: bench/run_quick.sh [--full] [--sanitizer <name>]
+#                           [--build-type <type>]
 #        BUILD=build-rel bench/run_quick.sh
+#
+# --full drops --quick (full-length op counts); --sanitizer records which
+# sanitizer the binaries were built with (default none); --build-type
+# overrides the CMAKE_BUILD_TYPE auto-detected from $BUILD/CMakeCache.txt.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD=${BUILD:-build}
 
-if [[ ! -x "$BUILD/bench/micro_sharded_pool" || \
-      ! -x "$BUILD/bench/micro_contention" ]]; then
-  echo "bench binaries not found under $BUILD/bench — build first:" >&2
-  echo "  cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
-  exit 1
+QUICK=--quick
+SANITIZER=none
+BUILD_TYPE=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --full) QUICK="" ;;
+    --sanitizer) SANITIZER="$2"; shift ;;
+    --build-type) BUILD_TYPE="$2"; shift ;;
+    *) echo "usage: $0 [--full] [--sanitizer <name>] [--build-type <type>]" >&2
+       exit 2 ;;
+  esac
+  shift
+done
+
+GIT_SHA=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+if [[ -z "$BUILD_TYPE" ]]; then
+  BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+      "$BUILD/CMakeCache.txt" 2>/dev/null || true)
+  BUILD_TYPE=${BUILD_TYPE:-unknown}
 fi
 
-"$BUILD/bench/micro_sharded_pool" --quick --json BENCH_hotpath.json
-"$BUILD/bench/micro_contention" --quick --json BENCH_contention.json
+for bin in micro_sharded_pool micro_contention micro_policy_overhead; do
+  if [[ ! -x "$BUILD/bench/$bin" ]]; then
+    echo "bench binaries not found under $BUILD/bench — build first:" >&2
+    echo "  cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
+    exit 1
+  fi
+done
 
-for f in BENCH_hotpath.json BENCH_contention.json; do
+PROVENANCE=(--git-sha "$GIT_SHA" --build-type "$BUILD_TYPE"
+            --sanitizer "$SANITIZER")
+
+"$BUILD/bench/micro_sharded_pool" $QUICK --json BENCH_hotpath.json \
+    "${PROVENANCE[@]}"
+"$BUILD/bench/micro_contention" $QUICK --json BENCH_contention.json \
+    "${PROVENANCE[@]}"
+"$BUILD/bench/micro_policy_overhead" $QUICK \
+    --json BENCH_policy_overhead.json "${PROVENANCE[@]}"
+
+for f in BENCH_hotpath.json BENCH_contention.json \
+         BENCH_policy_overhead.json; do
   python3 -m json.tool "$f" > /dev/null
   echo "$f: valid JSON"
 done

@@ -108,6 +108,12 @@ class BufferPool final : public PoolInterface {
   ReplacementPolicy& policy() { return *policy_; }
   DiskManager& disk() { return *disk_; }
   const BufferPoolOptions& options() const { return options_; }
+  // Drain/push counters for the batching buffer; all-zero when batching is
+  // disabled (batch_capacity == 0).
+  AccessBufferStats access_buffer_stats() const {
+    std::lock_guard<std::mutex> guard(latch_);
+    return access_buffer_ ? access_buffer_->stats() : AccessBufferStats{};
+  }
 
  private:
   // Finds a frame for a new resident page: the free list first, then a

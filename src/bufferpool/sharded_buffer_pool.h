@@ -97,6 +97,13 @@ class ShardedBufferPool final : public PoolInterface {
   const BufferPool& shard(size_t i) const { return *shards_[i]; }
   // Per-shard counter breakdown, indexed by shard.
   std::vector<BufferPoolStats> ShardStats() const;
+  // Batching-buffer counters summed across shards (all-zero when
+  // batch_capacity == 0).
+  AccessBufferStats access_buffer_stats() const {
+    AccessBufferStats total;
+    for (const auto& shard : shards_) total += shard->access_buffer_stats();
+    return total;
+  }
 
   DiskManager& disk() { return *disk_; }
 

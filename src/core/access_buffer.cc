@@ -46,6 +46,7 @@ bool AccessBuffer::TryPush(const AccessRecord& record) {
   // makes this conservatively refuse; the cell check below is the hard
   // occupancy bound at the physical ring size.
   if (ticket - stripe.head.load(std::memory_order_relaxed) >= capacity_) {
+    full_pushes_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   Cell& cell = stripe.cells[ticket & mask_];
@@ -54,6 +55,7 @@ bool AccessBuffer::TryPush(const AccessRecord& record) {
   // overwriting `record` is safe. seq != ticket means the cell is still
   // un-drained — the ring is full at its physical size.
   if (cell.seq.load(std::memory_order_acquire) != ticket) {
+    full_pushes_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
   cell.record = record;
@@ -67,6 +69,7 @@ bool AccessBuffer::TryPush(const AccessRecord& record) {
 
 size_t AccessBuffer::Drain(ReplacementPolicy& policy) {
   size_t applied = 0;
+  ++drain_stats_.drains;
   for (auto& owned : stripes_) {
     Stripe& stripe = *owned;
     scratch_.clear();
@@ -92,6 +95,8 @@ size_t AccessBuffer::Drain(ReplacementPolicy& policy) {
       applied += scratch_.size();
     }
   }
+  drain_stats_.drained_records += applied;
+  if (applied == 0) ++drain_stats_.empty_drains;
   return applied;
 }
 

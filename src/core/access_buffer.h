@@ -49,6 +49,28 @@
 
 namespace lruk {
 
+// Drain/push counters for a buffer's lifetime, exposed so benches can see
+// *why* batching wins or loses (bench/micro_contention prints records per
+// drain; DESIGN.md's batch-capacity guidance is derived from it).
+struct AccessBufferStats {
+  // Drain() calls, and how many records they applied in total.
+  uint64_t drains = 0;
+  uint64_t drained_records = 0;
+  // Drains that found nothing published (pure overhead).
+  uint64_t empty_drains = 0;
+  // TryPush refusals (stripe full) — each one forced the caller onto the
+  // slow path: take the latch, drain, apply directly.
+  uint64_t full_pushes = 0;
+
+  AccessBufferStats& operator+=(const AccessBufferStats& o) {
+    drains += o.drains;
+    drained_records += o.drained_records;
+    empty_drains += o.empty_drains;
+    full_pushes += o.full_pushes;
+    return *this;
+  }
+};
+
 class AccessBuffer {
  public:
   // `capacity` (>= 1) is the per-stripe record count at which TryPush
@@ -75,6 +97,16 @@ class AccessBuffer {
   // capacity; the physical ring may be one power-of-two larger).
   size_t stripe_capacity() const { return capacity_; }
   size_t stripe_count() const { return stripes_.size(); }
+
+  // Lifetime counters. The drain-side fields are guarded by the caller's
+  // latch (like Drain itself); full_pushes is accumulated with relaxed
+  // atomics, so a concurrent reader sees a value at most a few pushes
+  // stale — fine for bench reporting.
+  AccessBufferStats stats() const {
+    AccessBufferStats s = drain_stats_;
+    s.full_pushes = full_pushes_.load(std::memory_order_relaxed);
+    return s;
+  }
 
  private:
   struct Cell {
@@ -104,6 +136,10 @@ class AccessBuffer {
   std::vector<std::unique_ptr<Stripe>> stripes_;
   // Drain-side scratch; guarded by the caller's latch like the drain.
   std::vector<AccessRecord> scratch_;
+  // Drain-side counters, same guard as scratch_; full_pushes_ is updated
+  // on the producer side without the latch.
+  AccessBufferStats drain_stats_;
+  std::atomic<uint64_t> full_pushes_{0};
 };
 
 }  // namespace lruk

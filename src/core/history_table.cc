@@ -4,28 +4,95 @@
 
 namespace lruk {
 
+namespace {
+size_t RoundUpPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
 HistoryTable::HistoryTable(int k, Timestamp retained_information_period,
                            size_t max_nonresident_blocks,
                            size_t capacity_hint)
     : k_(k),
       rip_(retained_information_period),
       max_nonresident_(max_nonresident_blocks) {
-  LRUK_ASSERT(k >= 1, "LRU-K requires K >= 1");
-  if (capacity_hint > 0) {
-    // Resident blocks plus an equal measure of history-only headroom; the
-    // table keeps growing past this if the retained set demands it.
-    blocks_.reserve(capacity_hint * 2);
+  LRUK_ASSERT(k >= 1 && k <= kMaxHistoryK,
+              "LRU-K requires 1 <= K <= kMaxHistoryK");
+  // Resident blocks plus history-only headroom, kept under the ~0.7 load
+  // cap without growing; 16 slots minimum so tiny tables do not rehash on
+  // their first few inserts. The table keeps growing past this if the
+  // retained set demands it.
+  size_t initial = RoundUpPowerOfTwo(
+      std::max<size_t>(16, capacity_hint * 3));
+  slots_.assign(initial, Slot{});
+  mask_ = initial - 1;
+}
+
+size_t HistoryTable::FindSlot(PageId p) const {
+  size_t i = IdealSlot(p);
+  for (;;) {
+    if (slots_[i].page == p) return i;
+    if (slots_[i].page == kInvalidPageId) return kNpos;
+    i = (i + 1) & mask_;
   }
 }
 
-HistoryBlock* HistoryTable::Find(PageId p) {
-  auto it = blocks_.find(p);
-  return it == blocks_.end() ? nullptr : &it->second;
+void HistoryTable::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  for (const Slot& s : old) {
+    if (s.page == kInvalidPageId) continue;
+    size_t i = IdealSlot(s.page);
+    while (slots_[i].page != kInvalidPageId) i = (i + 1) & mask_;
+    slots_[i] = s;
+  }
 }
 
-const HistoryBlock* HistoryTable::Find(PageId p) const {
-  auto it = blocks_.find(p);
-  return it == blocks_.end() ? nullptr : &it->second;
+void HistoryTable::InsertSlot(PageId p, HistoryBlock* block) {
+  if ((size_ + 1) * 10 > slots_.size() * 7) Grow();
+  size_t i = IdealSlot(p);
+  while (slots_[i].page != kInvalidPageId) i = (i + 1) & mask_;
+  slots_[i].page = p;
+  slots_[i].block = block;
+  ++size_;
+}
+
+void HistoryTable::EraseSlotAt(size_t i) {
+  // Backward-shift deletion: refill the hole with the next probe-chain
+  // entry that may legally move there (its ideal slot is not cyclically
+  // inside (i, j]), repeating until the chain ends at an empty slot.
+  size_t j = i;
+  for (;;) {
+    slots_[i] = Slot{};
+    for (;;) {
+      j = (j + 1) & mask_;
+      if (slots_[j].page == kInvalidPageId) return;
+      size_t ideal = IdealSlot(slots_[j].page);
+      bool stuck = (i <= j) ? (i < ideal && ideal <= j)
+                            : (i < ideal || ideal <= j);
+      if (!stuck) break;
+    }
+    slots_[i] = slots_[j];
+    i = j;
+  }
+}
+
+HistoryBlock* HistoryTable::AllocateBlock() {
+  if (free_blocks_.empty()) {
+    chunks_.push_back(std::make_unique<HistoryBlock[]>(kChunkBlocks));
+    HistoryBlock* base = chunks_.back().get();
+    free_blocks_.reserve(kChunkBlocks);
+    for (size_t i = kChunkBlocks; i > 0; --i) {
+      free_blocks_.push_back(base + (i - 1));
+    }
+  }
+  HistoryBlock* block = free_blocks_.back();
+  free_blocks_.pop_back();
+  *block = HistoryBlock(k_);
+  return block;
 }
 
 bool HistoryTable::Expired(const HistoryBlock& block, Timestamp now) const {
@@ -35,24 +102,27 @@ bool HistoryTable::Expired(const HistoryBlock& block, Timestamp now) const {
 
 HistoryBlock& HistoryTable::GetOrCreate(PageId p, Timestamp now,
                                         bool* had_history) {
-  auto [it, inserted] = blocks_.try_emplace(p, k_);
-  if (inserted) {
+  size_t i = FindSlot(p);
+  if (i == kNpos) {
+    HistoryBlock* block = AllocateBlock();
+    InsertSlot(p, block);
     *had_history = false;
-    return it->second;
+    return *block;
   }
-  if (!it->second.resident) {
+  HistoryBlock& block = *slots_[i].block;
+  if (!block.resident) {
     // The page is coming back into the buffer: it stops being a
     // history-only block (the caller marks it resident).
-    nonresident_.erase({it->second.last, p});
+    nonresident_.erase({block.last, p});
   }
-  if (Expired(it->second, now)) {
+  if (Expired(block, now)) {
     // The demon would have purged this block already; treat it as absent.
-    it->second = HistoryBlock(k_);
+    block = HistoryBlock(k_);
     *had_history = false;
   } else {
     *had_history = true;
   }
-  return it->second;
+  return block;
 }
 
 void HistoryTable::OnEvicted(PageId p, HistoryBlock& block) {
@@ -65,30 +135,34 @@ void HistoryTable::OnEvicted(PageId p, HistoryBlock& block) {
     auto oldest = nonresident_.begin();
     PageId victim = oldest->second;
     nonresident_.erase(oldest);
-    blocks_.erase(victim);
+    size_t i = FindSlot(victim);
+    LRUK_ASSERT(i != kNpos, "non-resident index out of sync with table");
+    free_blocks_.push_back(slots_[i].block);
+    EraseSlotAt(i);
+    --size_;
   }
 }
 
 void HistoryTable::Erase(PageId p) {
-  auto it = blocks_.find(p);
-  if (it == blocks_.end()) return;
-  if (!it->second.resident) nonresident_.erase({it->second.last, p});
-  blocks_.erase(it);
+  size_t i = FindSlot(p);
+  if (i == kNpos) return;
+  HistoryBlock* block = slots_[i].block;
+  if (!block->resident) nonresident_.erase({block->last, p});
+  free_blocks_.push_back(block);
+  EraseSlotAt(i);
+  --size_;
 }
 
 size_t HistoryTable::PurgeExpired(Timestamp now) {
   if (rip_ == kInfinitePeriod) return 0;
-  size_t purged = 0;
-  for (auto it = blocks_.begin(); it != blocks_.end();) {
-    if (Expired(it->second, now)) {
-      nonresident_.erase({it->second.last, it->first});
-      it = blocks_.erase(it);
-      ++purged;
-    } else {
-      ++it;
-    }
-  }
-  return purged;
+  // Two passes: backward-shift deletion moves slots around, so collecting
+  // victims first keeps the scan from skipping (or re-visiting) entries.
+  std::vector<PageId> expired;
+  ForEach([&](PageId p, const HistoryBlock& block) {
+    if (Expired(block, now)) expired.push_back(p);
+  });
+  for (PageId p : expired) Erase(p);
+  return expired.size();
 }
 
 }  // namespace lruk

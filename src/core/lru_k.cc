@@ -1,15 +1,25 @@
 #include "core/lru_k.h"
 
 #include <string>
+#include <utility>
 
 namespace lruk {
 
 LruKPolicy::LruKPolicy(LruKOptions options)
     : options_(options),
+      index_kind_(options.use_linear_scan ? VictimIndex::kLinear
+                                          : options.victim_index),
       name_("LRU-" + std::to_string(options.k)),
       table_(options.k, options.retained_information_period,
              options.max_nonresident_history, options.capacity_hint) {
-  LRUK_ASSERT(options_.k >= 1, "LRU-K requires K >= 1");
+  LRUK_ASSERT(options_.k >= 1 && options_.k <= kMaxHistoryK,
+              "LRU-K requires 1 <= K <= kMaxHistoryK");
+  if (index_kind_ == VictimIndex::kLazyHeap && options_.capacity_hint > 0) {
+    // Pre-size the heap's backing vector for the expected resident count.
+    std::vector<VictimKey> storage;
+    storage.reserve(options_.capacity_hint);
+    heap_ = decltype(heap_)(std::greater<VictimKey>{}, std::move(storage));
+  }
 }
 
 bool LruKPolicy::IsResident(PageId p) const {
@@ -19,9 +29,9 @@ bool LruKPolicy::IsResident(PageId p) const {
 
 void LruKPolicy::ForEachResident(
     const std::function<void(PageId)>& visit) const {
-  for (const auto& [page, block] : table_) {
+  table_.ForEach([&](PageId page, const HistoryBlock& block) {
     if (block.resident) visit(page);
-  }
+  });
 }
 
 Timestamp LruKPolicy::Tick() {
@@ -43,6 +53,12 @@ Timestamp LruKPolicy::Tick() {
   return time_;
 }
 
+void LruKPolicy::HeapPushIfAbsent(PageId p, HistoryBlock& block) {
+  if (block.in_victim_heap) return;
+  heap_.push(KeyFor(p, block));
+  block.in_victim_heap = true;
+}
+
 void LruKPolicy::RecordAccess(PageId p, AccessType /*type*/) {
   Timestamp t = Tick();
   HistoryBlock* block = table_.Find(p);
@@ -56,10 +72,16 @@ void LruKPolicy::RecordAccess(PageId p, AccessType /*type*/) {
     // A new, uncorrelated reference (Figure 2.1, then-branch): close the
     // correlated period and credit only its start-to-start interval.
     Timestamp correlation_period = block->last - block->hist.front();
-    // The victim index is repositioned via extract()/insert() of the same
-    // node so the hot hit path never round-trips the allocator.
+    // kOrderedSet repositions the victim index via extract()/insert() of
+    // the same node so the hit never round-trips the allocator. kLazyHeap
+    // touches nothing here — the heap entry goes stale and is re-keyed
+    // when an eviction pops it (the O(1) hit path). The key only ever
+    // grows under this shift, which is what makes staleness safe (see
+    // DESIGN.md "Victim index structures").
     std::set<VictimKey>::node_type node;
-    if (block->evictable) {
+    bool reposition =
+        index_kind_ == VictimIndex::kOrderedSet && block->evictable;
+    if (reposition) {
       node = queue_.extract(KeyFor(p, *block));
       LRUK_ASSERT(!node.empty(), "evictable page missing from victim index");
     }
@@ -70,7 +92,7 @@ void LruKPolicy::RecordAccess(PageId p, AccessType /*type*/) {
     }
     block->hist.front() = t;
     block->last = t;
-    if (block->evictable) {
+    if (reposition) {
       node.value() = KeyFor(p, *block);
       queue_.insert(std::move(node));
     }
@@ -101,13 +123,78 @@ void LruKPolicy::Admit(PageId p, AccessType /*type*/) {
   block.last_process = current_process_;
   block.resident = true;
   block.evictable = true;
-  queue_.insert(KeyFor(p, block));
+  switch (index_kind_) {
+    case VictimIndex::kOrderedSet:
+      queue_.insert(KeyFor(p, block));
+      break;
+    case VictimIndex::kLazyHeap:
+      // A pre-eviction entry may survive in the heap (flagged); its key is
+      // <= the post-shift key, so it covers this page until re-keyed.
+      // Fresh/reset blocks have the flag cleared and get a new entry.
+      HeapPushIfAbsent(p, block);
+      break;
+    case VictimIndex::kLinear:
+      break;
+  }
   ++resident_count_;
   ++evictable_count_;
 }
 
 bool LruKPolicy::EligibleAt(const HistoryBlock& block, Timestamp t) const {
   return t - block.last > options_.correlated_reference_period;
+}
+
+std::optional<PageId> LruKPolicy::PickVictimLazyHeap(Timestamp t) {
+  // Pops ascend by key. Invariant: every evictable resident page has a
+  // heap entry with key <= its current key (keys only grow while a block
+  // keeps its history; the paths that can shrink a key — RIP expiry,
+  // Remove — clear the flag, and the next Admit pushes a fresh entry). So
+  // the first pop whose key still matches its block is the true minimum,
+  // exactly the entry the ordered index would surface first.
+  std::vector<VictimKey> ineligible;  // Fresh pops inside their CRP.
+  std::optional<VictimKey> victim;
+  while (!heap_.empty()) {
+    VictimKey entry = heap_.top();
+    heap_.pop();
+    HistoryBlock* block = table_.Find(entry.page);
+    if (block == nullptr || !block->resident || !block->evictable) {
+      // Dead entry: the page left the evictable-resident set after the
+      // push (eviction, pin, or removal — all lazy). Clearing the flag
+      // lets SetEvictable/Admit re-index the page later.
+      if (block != nullptr) block->in_victim_heap = false;
+      continue;
+    }
+    VictimKey current = KeyFor(entry.page, *block);
+    if (current != entry) {
+      // Stale entry: hits advanced the key since the push. Re-key it —
+      // each stale entry is re-keyed at most once per search, so the loop
+      // terminates and the amortized cost stays one heap op per hit.
+      heap_.push(current);
+      continue;
+    }
+    if (EligibleAt(*block, t)) {
+      victim = entry;
+      break;
+    }
+    ineligible.push_back(entry);
+  }
+  size_t keep_from = 0;
+  if (!victim && !ineligible.empty()) {
+    // Everyone is inside a correlated period; a real buffer manager still
+    // has to yield a slot (see header). The first fresh pop is the minimum
+    // current key over all evictable residents, eligible or not — the same
+    // fallback the ordered index and the linear scan take.
+    victim = ineligible.front();
+    keep_from = 1;
+    ++fallback_evictions_;
+  }
+  // Fresh-but-ineligible keys go back; the victim's entry stays consumed.
+  for (size_t i = keep_from; i < ineligible.size(); ++i) {
+    heap_.push(ineligible[i]);
+  }
+  if (!victim) return std::nullopt;
+  table_.Find(victim->page)->in_victim_heap = false;
+  return victim->page;
 }
 
 std::optional<PageId> LruKPolicy::PickVictimIndexed(Timestamp t) {
@@ -132,15 +219,15 @@ std::optional<PageId> LruKPolicy::PickVictimLinear(Timestamp t) {
   // subsidiary-LRU tie-break on HIST(q,1) and the pinning filter.
   std::optional<VictimKey> best;
   std::optional<VictimKey> best_ineligible;
-  for (const auto& [page, block] : table_) {
-    if (!block.resident || !block.evictable) continue;
+  table_.ForEach([&](PageId page, const HistoryBlock& block) {
+    if (!block.resident || !block.evictable) return;
     VictimKey key = KeyFor(page, block);
     if (EligibleAt(block, t)) {
       if (!best || key < *best) best = key;
     } else {
       if (!best_ineligible || key < *best_ineligible) best_ineligible = key;
     }
-  }
+  });
   if (best) return best->page;
   if (best_ineligible) {
     ++fallback_evictions_;
@@ -162,12 +249,26 @@ std::optional<PageId> LruKPolicy::Evict() {
   } else {
     t = time_ + 1;
   }
-  std::optional<PageId> victim = options_.use_linear_scan
-                                     ? PickVictimLinear(t)
-                                     : PickVictimIndexed(t);
+  std::optional<PageId> victim;
+  switch (index_kind_) {
+    case VictimIndex::kLazyHeap:
+      victim = PickVictimLazyHeap(t);
+      break;
+    case VictimIndex::kOrderedSet:
+      victim = PickVictimIndexed(t);
+      break;
+    case VictimIndex::kLinear:
+      victim = PickVictimLinear(t);
+      break;
+  }
+  // With evictable pages present, every search mode must produce a victim
+  // (the lazy heap's coverage invariant guarantees an entry exists).
+  LRUK_ASSERT(victim.has_value(), "victim index lost an evictable page");
   if (!victim) return std::nullopt;
   HistoryBlock* block = table_.Find(*victim);
-  queue_.erase(KeyFor(*victim, *block));
+  if (index_kind_ == VictimIndex::kOrderedSet) {
+    queue_.erase(KeyFor(*victim, *block));
+  }
   // History is retained past residence — the whole point of Section 2.1.2
   // — up to the configured non-resident block budget.
   table_.OnEvicted(*victim, *block);
@@ -181,7 +282,10 @@ void LruKPolicy::Remove(PageId p) {
   LRUK_ASSERT(block != nullptr && block->resident,
               "Remove on a non-resident page");
   if (block->evictable) {
-    queue_.erase(KeyFor(p, *block));
+    if (index_kind_ == VictimIndex::kOrderedSet) {
+      queue_.erase(KeyFor(p, *block));
+    }
+    // kLazyHeap: the entry dangles and is discarded when popped.
     --evictable_count_;
   }
   --resident_count_;
@@ -196,13 +300,24 @@ void LruKPolicy::SetEvictable(PageId p, bool evictable) {
               "SetEvictable on a non-resident page");
   if (block->evictable == evictable) return;
   if (evictable) {
-    queue_.insert(KeyFor(p, *block));
+    if (index_kind_ == VictimIndex::kOrderedSet) {
+      queue_.insert(KeyFor(p, *block));
+    }
     ++evictable_count_;
   } else {
-    queue_.erase(KeyFor(p, *block));
+    if (index_kind_ == VictimIndex::kOrderedSet) {
+      queue_.erase(KeyFor(p, *block));
+    }
+    // kLazyHeap: pinning leaves the entry in place; a pop while the page
+    // is pinned discards it as dead.
     --evictable_count_;
   }
   block->evictable = evictable;
+  if (evictable && index_kind_ == VictimIndex::kLazyHeap) {
+    // Un-pinning must restore heap coverage. If the pinned-era entry was
+    // never popped the flag is still set and this is a no-op.
+    HeapPushIfAbsent(p, *block);
+  }
 }
 
 std::optional<Timestamp> LruKPolicy::BackwardKDistance(PageId p) const {

@@ -20,18 +20,23 @@
 //    so we fall back to the best key regardless of eligibility and count
 //    the event (fallback_evictions()).
 //
-// Victim search is O(log n) via an ordered index keyed by
-// (HIST(p,K), HIST(p,1), page); `use_linear_scan` switches to the paper's
-// O(n) loop, which tests use as an oracle to validate the index.
+// Victim search is pluggable (LruKOptions::victim_index, DESIGN.md "Victim
+// index structures"): a lazy min-heap whose hit path is allocation- and
+// rebalance-free (the default), the ordered std::set index keyed by
+// (HIST(p,K), HIST(p,1), page), or the paper's O(n) scan. Property tests
+// drive all three in lockstep to prove them behaviourally identical.
 
 #ifndef LRUK_CORE_LRU_K_H_
 #define LRUK_CORE_LRU_K_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <queue>
 #include <set>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/history_table.h"
 #include "core/replacement_policy.h"
@@ -39,8 +44,25 @@
 
 namespace lruk {
 
+// Which data structure serves PickVictim (see DESIGN.md "Victim index
+// structures" for the cost model and the lazy-heap staleness invariant).
+enum class VictimIndex {
+  // Lazy min-heap: a hit only rewrites the page's history block — its heap
+  // entry is left stale and re-keyed when an eviction pops it. Hits are
+  // O(1) (no allocation, no rebalance); evictions are amortized O(log n).
+  kLazyHeap,
+  // Ordered std::set of (HIST(p,K), HIST(p,1), page): every uncorrelated
+  // hit repositions the page's key (red-black rebalance). Kept as a
+  // differential oracle for the heap.
+  kOrderedSet,
+  // The paper's Figure 2.1 "for all pages q in the buffer" loop; no index
+  // is maintained at all. O(1) hits, O(n) evictions.
+  kLinear,
+};
+
 struct LruKOptions {
   // The K in LRU-K. K = 1 is classical LRU; the paper advocates K = 2.
+  // Bounded by kMaxHistoryK (history is stored inline in the block).
   int k = 2;
   // Correlated Reference Period, in logical ticks (Section 2.1.1). 0 means
   // every reference is uncorrelated — the setting used for the paper's
@@ -58,11 +80,14 @@ struct LruKOptions {
   // bench/ablation_memory_budget.
   size_t max_nonresident_history = 0;
   // Expected resident-page count (the owning pool's capacity). Pre-sizes
-  // the history table's hash buckets so warm-up does not rehash on every
-  // few admissions; 0 = no hint. MakePolicy fills it from
-  // PolicyContext::capacity when unset.
+  // the history table's index (and the victim heap's backing store) so
+  // warm-up does not rehash on every few admissions; 0 = no hint.
+  // MakePolicy fills it from PolicyContext::capacity when unset.
   size_t capacity_hint = 0;
-  // Use the paper's O(n) victim scan instead of the ordered index.
+  // Victim-search structure; kLazyHeap unless a test/bench pins one of the
+  // oracles.
+  VictimIndex victim_index = VictimIndex::kLazyHeap;
+  // Legacy alias (predates the victim_index enum): true forces kLinear.
   bool use_linear_scan = false;
   // Distinguish processes when deciding whether a reference is correlated
   // (Section 2.1.1: intra-transaction / intra-process pairs are
@@ -105,6 +130,8 @@ class LruKPolicy final : public ReplacementPolicy {
   // --- Introspection (tests, benches, EXPERIMENTS.md plumbing) ---
 
   const LruKOptions& options() const { return options_; }
+  // The victim-search structure in use (use_linear_scan folded in).
+  VictimIndex victim_index() const { return index_kind_; }
   // Current logical time (count of references seen).
   Timestamp CurrentTime() const { return time_; }
   // b_t(p,K) at the current time; nullopt encodes infinity (page unknown,
@@ -123,6 +150,10 @@ class LruKPolicy final : public ReplacementPolicy {
   size_t NonResidentHistorySize() const {
     return table_.NonResidentCount();
   }
+  // Entries in the lazy victim heap (kLazyHeap mode only; 0 otherwise).
+  // May exceed EvictableCount() by the stale/dangling entries not yet
+  // reaped, but tests assert it stays bounded.
+  size_t VictimHeapSize() const { return heap_.size(); }
   // Runs the retained-information demon immediately; returns blocks purged.
   size_t PurgeHistory() { return table_.PurgeExpired(time_); }
   // Evictions that had to ignore the Correlated Reference Period because no
@@ -145,18 +176,28 @@ class LruKPolicy final : public ReplacementPolicy {
   Timestamp Tick();
   // Whether `block` is outside its Correlated Reference Period at time `t`.
   bool EligibleAt(const HistoryBlock& block, Timestamp t) const;
-  // Victim search via the ordered index / the paper's linear scan.
+  // Pushes p's current key unless the heap already holds an entry for it
+  // (block.in_victim_heap). Keeps the heap at ~one entry per page.
+  void HeapPushIfAbsent(PageId p, HistoryBlock& block);
+  // Victim search: lazy heap / ordered index / the paper's linear scan.
+  std::optional<PageId> PickVictimLazyHeap(Timestamp t);
   std::optional<PageId> PickVictimIndexed(Timestamp t);
   std::optional<PageId> PickVictimLinear(Timestamp t);
 
   LruKOptions options_;
+  VictimIndex index_kind_;
   std::string name_;
   Timestamp time_ = 0;
   Timestamp last_purge_time_ = 0;
   uint32_t current_process_ = 0;
   HistoryTable table_;
-  // Evictable resident pages ordered by eviction preference.
+  // kOrderedSet: evictable resident pages ordered by eviction preference.
   std::set<VictimKey> queue_;
+  // kLazyHeap: min-heap of (possibly stale) keys; see DESIGN.md "Victim
+  // index structures" for the staleness protocol.
+  std::priority_queue<VictimKey, std::vector<VictimKey>,
+                      std::greater<VictimKey>>
+      heap_;
   size_t resident_count_ = 0;
   size_t evictable_count_ = 0;
   uint64_t fallback_evictions_ = 0;

@@ -119,7 +119,9 @@ std::optional<PolicyConfig> ParsePolicyName(const std::string& name) {
       }
       k = k * 10 + (upper[i] - '0');
     }
-    if (k < 1 || k > 64) return std::nullopt;
+    // Inline history storage bounds K (see kMaxHistoryK); the paper never
+    // goes past K = 3 anyway.
+    if (k < 1 || k > kMaxHistoryK) return std::nullopt;
     return PolicyConfig::LruK(k);
   }
   if (upper == "LFU") return PolicyConfig::Lfu();

@@ -110,10 +110,11 @@ using ShardPolicyFactory = std::function<std::unique_ptr<ReplacementPolicy>(
 Result<ShardPolicyFactory> MakeShardPolicyFactory(const PolicyConfig& config,
                                                   PolicyContext context = {});
 
-// Parses names like "LRU", "LRU-2", "LRU-10", "LFU", "FIFO", "CLOCK",
+// Parses names like "LRU", "LRU-2", "LRU-3", "LFU", "FIFO", "CLOCK",
 // "GCLOCK", "LRD", "MRU", "RANDOM", "2Q", "ARC", "A0", "B0"/"BELADY"
-// (case insensitive). Returns nullopt for unknown names (including
-// DOMAIN-SEP, which needs a programmatic classifier).
+// (case insensitive). LRU-K accepts 1 <= K <= kMaxHistoryK. Returns
+// nullopt for unknown names (including DOMAIN-SEP, which needs a
+// programmatic classifier).
 std::optional<PolicyConfig> ParsePolicyName(const std::string& name);
 
 }  // namespace lruk

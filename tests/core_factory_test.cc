@@ -92,7 +92,9 @@ TEST(ParsePolicyNameTest, RecognizesCanonicalNames) {
   EXPECT_EQ(ParsePolicyName("LRU-1")->kind, PolicyKind::kLru);
   EXPECT_EQ(ParsePolicyName("LRU-2")->kind, PolicyKind::kLruK);
   EXPECT_EQ(ParsePolicyName("LRU-2")->lru_k.k, 2);
-  EXPECT_EQ(ParsePolicyName("lru-10")->lru_k.k, 10);
+  EXPECT_EQ(ParsePolicyName("lru-3")->lru_k.k, 3);
+  // K is capped by the inline history storage (kMaxHistoryK).
+  EXPECT_EQ(ParsePolicyName("LRU-8")->lru_k.k, kMaxHistoryK);
   EXPECT_EQ(ParsePolicyName("LFU")->kind, PolicyKind::kLfu);
   EXPECT_EQ(ParsePolicyName("FIFO")->kind, PolicyKind::kFifo);
   EXPECT_EQ(ParsePolicyName("CLOCK")->kind, PolicyKind::kClock);
@@ -115,6 +117,9 @@ TEST(ParsePolicyNameTest, RejectsGarbage) {
   EXPECT_FALSE(ParsePolicyName("LRU-").has_value());
   EXPECT_FALSE(ParsePolicyName("LRU-x").has_value());
   EXPECT_FALSE(ParsePolicyName("LRU-0").has_value());
+  // Beyond the inline-history bound.
+  EXPECT_FALSE(ParsePolicyName("LRU-9").has_value());
+  EXPECT_FALSE(ParsePolicyName("LRU-10").has_value());
   EXPECT_FALSE(ParsePolicyName("LRU-999").has_value());
 }
 

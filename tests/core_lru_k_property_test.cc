@@ -1,9 +1,11 @@
 // Property tests for LRU-K, parameterized over K, the Correlated Reference
 // Period, the Retained Information Period, and the random seed:
 //
-//  1. The O(log n) indexed victim search and the paper's O(n) linear scan
-//     (Figure 2.1) are behaviourally identical on arbitrary operation
-//     sequences.
+//  1. All three victim-index structures (lazy min-heap, ordered set, the
+//     paper's O(n) linear scan — LruKOptions::victim_index) are
+//     behaviourally identical on arbitrary operation sequences, including
+//     pinning, removal, post-eviction re-admission, fallback eviction
+//     (every page inside its CRP) and mid-script history purges.
 //  2. LRU-K with K = 1 and CRP = 0 is exactly classical LRU.
 //  3. The policy is deterministic from its inputs.
 //  4. Internal counters agree with a model of the resident set.
@@ -25,12 +27,28 @@ constexpr size_t kCapacity = 16;
 constexpr PageId kPages = 48;
 constexpr int kSteps = 4000;
 
-// Drives two policies with an identical randomized reference/pin/remove
+// Drives N policies with an identical randomized reference/pin/remove
 // script, asserting identical observable behavior at every step.
-void RunLockstep(ReplacementPolicy& a, ReplacementPolicy& b, uint64_t seed) {
+void RunLockstepMany(const std::vector<ReplacementPolicy*>& policies,
+                     uint64_t seed) {
+  ASSERT_FALSE(policies.empty());
   RandomEngine rng(seed);
   std::unordered_set<PageId> resident;
   std::unordered_set<PageId> pinned;
+
+  // Evicts from every policy; all victims must agree. Returns the common
+  // victim (nullopt when everything is pinned / inside its CRP with no
+  // fallback possible).
+  auto evict_all = [&](int step) -> std::optional<PageId> {
+    std::optional<PageId> first = policies[0]->Evict();
+    for (size_t i = 1; i < policies.size(); ++i) {
+      std::optional<PageId> other = policies[i]->Evict();
+      EXPECT_EQ(first, other)
+          << "victims diverged at step " << step << " (policy 0 vs " << i
+          << ")";
+    }
+    return first;
+  };
 
   for (int step = 0; step < kSteps; ++step) {
     double action = rng.NextDouble();
@@ -38,19 +56,20 @@ void RunLockstep(ReplacementPolicy& a, ReplacementPolicy& b, uint64_t seed) {
       // A page reference.
       PageId p = rng.NextBounded(kPages);
       if (resident.contains(p)) {
-        a.RecordAccess(p, AccessType::kRead);
-        b.RecordAccess(p, AccessType::kRead);
+        for (ReplacementPolicy* policy : policies) {
+          policy->RecordAccess(p, AccessType::kRead);
+        }
       } else {
         if (resident.size() == kCapacity) {
-          auto va = a.Evict();
-          auto vb = b.Evict();
-          ASSERT_EQ(va, vb) << "victims diverged at step " << step;
-          if (!va.has_value()) continue;  // Everything pinned; skip.
-          resident.erase(*va);
-          pinned.erase(*va);
+          auto victim = evict_all(step);
+          if (::testing::Test::HasFailure()) return;
+          if (!victim.has_value()) continue;  // Everything pinned; skip.
+          resident.erase(*victim);
+          pinned.erase(*victim);
         }
-        a.Admit(p, AccessType::kRead);
-        b.Admit(p, AccessType::kRead);
+        for (ReplacementPolicy* policy : policies) {
+          policy->Admit(p, AccessType::kRead);
+        }
         resident.insert(p);
       }
     } else if (action < 0.90) {
@@ -59,8 +78,9 @@ void RunLockstep(ReplacementPolicy& a, ReplacementPolicy& b, uint64_t seed) {
       std::vector<PageId> pool(resident.begin(), resident.end());
       PageId p = pool[rng.NextBounded(pool.size())];
       bool make_evictable = pinned.contains(p);
-      a.SetEvictable(p, make_evictable);
-      b.SetEvictable(p, make_evictable);
+      for (ReplacementPolicy* policy : policies) {
+        policy->SetEvictable(p, make_evictable);
+      }
       if (make_evictable) {
         pinned.erase(p);
       } else {
@@ -71,30 +91,33 @@ void RunLockstep(ReplacementPolicy& a, ReplacementPolicy& b, uint64_t seed) {
       if (resident.empty()) continue;
       std::vector<PageId> pool(resident.begin(), resident.end());
       PageId p = pool[rng.NextBounded(pool.size())];
-      a.Remove(p);
-      b.Remove(p);
+      for (ReplacementPolicy* policy : policies) policy->Remove(p);
       resident.erase(p);
       pinned.erase(p);
     } else {
       // Spontaneous eviction.
-      auto va = a.Evict();
-      auto vb = b.Evict();
-      ASSERT_EQ(va, vb) << "victims diverged at step " << step;
-      if (va.has_value()) {
-        resident.erase(*va);
-        pinned.erase(*va);
+      auto victim = evict_all(step);
+      if (::testing::Test::HasFailure()) return;
+      if (victim.has_value()) {
+        resident.erase(*victim);
+        pinned.erase(*victim);
       }
     }
 
-    ASSERT_EQ(a.ResidentCount(), resident.size());
-    ASSERT_EQ(b.ResidentCount(), resident.size());
-    ASSERT_EQ(a.EvictableCount(), resident.size() - pinned.size());
-    ASSERT_EQ(b.EvictableCount(), resident.size() - pinned.size());
+    for (ReplacementPolicy* policy : policies) {
+      ASSERT_EQ(policy->ResidentCount(), resident.size());
+      ASSERT_EQ(policy->EvictableCount(), resident.size() - pinned.size());
+    }
     for (PageId p = 0; p < kPages; ++p) {
-      ASSERT_EQ(a.IsResident(p), resident.contains(p));
-      ASSERT_EQ(b.IsResident(p), resident.contains(p));
+      for (ReplacementPolicy* policy : policies) {
+        ASSERT_EQ(policy->IsResident(p), resident.contains(p));
+      }
     }
   }
+}
+
+void RunLockstep(ReplacementPolicy& a, ReplacementPolicy& b, uint64_t seed) {
+  RunLockstepMany({&a, &b}, seed);
 }
 
 class LruKImplEquivalence
@@ -130,6 +153,62 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 3, 5),
                        ::testing::Values<Timestamp>(0, 3, 20),
                        ::testing::Values<Timestamp>(kInfinitePeriod, 48, 400),
+                       ::testing::Values<uint64_t>(1, 7, 1234)));
+
+// Three-way lockstep across every victim-index structure: the lazy heap,
+// the ordered set and the linear scan must pick byte-identical victims on
+// the same randomized script (references, pin toggles, removals,
+// spontaneous evictions — so evicted pages are re-admitted with surviving
+// history, and with a finite RIP the purge demon fires mid-script). The
+// CRP axis includes a period longer than the whole script, which forces
+// every eviction down the fallback path (no page is ever eligible).
+class LruKIndexEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<int, Timestamp, Timestamp, uint64_t>> {};
+
+TEST_P(LruKIndexEquivalence, AllThreeIndexesPickIdenticalVictims) {
+  auto [k, crp, rip, seed] = GetParam();
+  LruKOptions options;
+  options.k = k;
+  options.correlated_reference_period = crp;
+  options.retained_information_period = rip;
+  options.purge_interval = 64;
+
+  LruKOptions heap_opts = options;
+  heap_opts.victim_index = VictimIndex::kLazyHeap;
+  LruKOptions set_opts = options;
+  set_opts.victim_index = VictimIndex::kOrderedSet;
+  LruKOptions linear_opts = options;
+  linear_opts.victim_index = VictimIndex::kLinear;
+
+  LruKPolicy heap(heap_opts);
+  LruKPolicy ordered(set_opts);
+  LruKPolicy linear(linear_opts);
+  ASSERT_EQ(heap.victim_index(), VictimIndex::kLazyHeap);
+  ASSERT_EQ(ordered.victim_index(), VictimIndex::kOrderedSet);
+  ASSERT_EQ(linear.victim_index(), VictimIndex::kLinear);
+
+  RunLockstepMany({&heap, &ordered, &linear}, seed);
+
+  // The structures must agree on the side effects too, not just victims.
+  EXPECT_EQ(heap.fallback_evictions(), ordered.fallback_evictions());
+  EXPECT_EQ(heap.fallback_evictions(), linear.fallback_evictions());
+  EXPECT_EQ(heap.HistorySize(), ordered.HistorySize());
+  EXPECT_EQ(heap.HistorySize(), linear.HistorySize());
+  if (crp > static_cast<Timestamp>(kSteps)) {
+    // Sanity: the fallback-heavy axis actually exercised the fallback.
+    EXPECT_GT(heap.fallback_evictions(), 0u);
+  }
+  // The lazy heap may hold stale duplicates, but it must stay bounded by
+  // pages-with-history, not grow with the operation count.
+  EXPECT_LE(heap.VictimHeapSize(), heap.HistorySize() + kCapacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KCrpRipSeedGrid, LruKIndexEquivalence,
+    ::testing::Combine(::testing::Values(1, 2, 5),
+                       ::testing::Values<Timestamp>(0, 3, 5000),
+                       ::testing::Values<Timestamp>(kInfinitePeriod, 48),
                        ::testing::Values<uint64_t>(1, 7, 1234)));
 
 class LruK1VsLru : public ::testing::TestWithParam<uint64_t> {};

@@ -312,11 +312,90 @@ TEST(LruKTest, LinearScanModeMatchesBasicScenario) {
   LruKOptions options = Opts(2);
   options.use_linear_scan = true;
   LruKPolicy policy(options);
+  EXPECT_EQ(policy.victim_index(), VictimIndex::kLinear);
   policy.Admit(1, AccessType::kRead);
   policy.Admit(2, AccessType::kRead);
   policy.RecordAccess(1, AccessType::kRead);
   EXPECT_EQ(policy.Evict(), std::optional<PageId>(2));
   EXPECT_EQ(policy.Evict(), std::optional<PageId>(1));
+}
+
+// --- Lazy-heap victim index (the default; DESIGN.md "Victim index
+// structures") ---
+
+TEST(LruKLazyHeapTest, HitsAddNoHeapEntries) {
+  // The whole point of the lazy heap: a hit rewrites the history block and
+  // touches nothing else. One entry per admitted page, zero growth across
+  // an arbitrary number of re-references.
+  LruKPolicy policy(Opts(2));
+  ASSERT_EQ(policy.victim_index(), VictimIndex::kLazyHeap);
+  policy.Admit(1, AccessType::kRead);
+  policy.Admit(2, AccessType::kRead);
+  EXPECT_EQ(policy.VictimHeapSize(), 2u);
+  for (int i = 0; i < 1000; ++i) {
+    policy.RecordAccess(1, AccessType::kRead);
+    policy.RecordAccess(2, AccessType::kRead);
+  }
+  EXPECT_EQ(policy.VictimHeapSize(), 2u);
+}
+
+TEST(LruKLazyHeapTest, PinUnpinChurnDoesNotGrowHeapUnbounded) {
+  // SetEvictable(true) re-pushes only when the page has no live heap entry
+  // (in_victim_heap); a pin/unpin loop must not mint one entry per cycle.
+  LruKPolicy policy(Opts(2));
+  policy.Admit(1, AccessType::kRead);
+  policy.Admit(2, AccessType::kRead);
+  for (int i = 0; i < 1000; ++i) {
+    policy.SetEvictable(1, false);
+    policy.SetEvictable(1, true);
+  }
+  EXPECT_EQ(policy.VictimHeapSize(), 2u);
+}
+
+TEST(LruKLazyHeapTest, StaleEntriesStillYieldTheTrueMinimum) {
+  // Reference pattern chosen so the heap's stored keys are stale for every
+  // page at eviction time; the pop-and-rekey protocol must still surface
+  // the true minimum (page 2: its second reference is oldest).
+  LruKPolicy policy(Opts(2));
+  policy.Admit(1, AccessType::kRead);       // t=1
+  policy.Admit(2, AccessType::kRead);       // t=2
+  policy.Admit(3, AccessType::kRead);       // t=3
+  policy.RecordAccess(2, AccessType::kRead);  // t=4: HIST(2)={4,2}
+  policy.RecordAccess(1, AccessType::kRead);  // t=5: HIST(1)={5,1}
+  policy.RecordAccess(3, AccessType::kRead);  // t=6: HIST(3)={6,3}
+  policy.RecordAccess(1, AccessType::kRead);  // t=7: HIST(1)={7,5}
+  policy.RecordAccess(3, AccessType::kRead);  // t=8: HIST(3)={8,6}
+  // Backward-2 keys: 1 -> 5, 2 -> 2, 3 -> 6; minimum is page 2.
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(2));
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(1));
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(3));
+}
+
+TEST(LruKLazyHeapTest, FallbackIgnoresCrpLikeTheOtherIndexes) {
+  // Every page inside its CRP: the heap's fallback must pick the best key
+  // regardless of eligibility and count the event, like ordered/linear.
+  LruKOptions options = Opts(2, /*crp=*/1000);
+  LruKPolicy policy(options);
+  policy.Admit(1, AccessType::kRead);
+  policy.Admit(2, AccessType::kRead);
+  policy.Admit(3, AccessType::kRead);
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(1));
+  EXPECT_EQ(policy.fallback_evictions(), 1u);
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(2));
+  EXPECT_EQ(policy.fallback_evictions(), 2u);
+}
+
+TEST(LruKLazyHeapTest, RemoveAndReadmitKeepsHeapConsistent) {
+  // Remove leaves a dangling heap entry (reaped lazily); re-admission must
+  // push a fresh entry and eviction must still work.
+  LruKPolicy policy(Opts(2));
+  policy.Admit(1, AccessType::kRead);
+  policy.Admit(2, AccessType::kRead);
+  policy.Remove(1);
+  policy.Admit(1, AccessType::kRead);  // New history, fresh heap entry.
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(2));
+  EXPECT_EQ(policy.Evict(), std::optional<PageId>(1));
+  EXPECT_EQ(policy.Evict(), std::nullopt);
 }
 
 }  // namespace
