@@ -55,6 +55,13 @@ struct Cell {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t ops_issued = 0;
+  // I/O failure/retry counters from BufferPoolStats. SimDiskManager never
+  // fails here, so all three must read zero — printing them keeps the
+  // error-path accounting visible in the same artifact that tracks the
+  // happy path (bench/fault_sweep.cc exercises the non-zero regime).
+  uint64_t read_failures = 0;
+  uint64_t write_failures = 0;
+  uint64_t retries = 0;
   // AccessBuffer drain counters (all zero when batch_capacity == 0) — the
   // observability behind DESIGN.md's batch-capacity guidance: records per
   // drain shows whether batching amortizes anything or just adds the
@@ -114,6 +121,9 @@ void RunCell(Pool& pool, Cell& cell, uint64_t total_ops) {
   cell.hit_ratio = stats.HitRatio();
   cell.hits = stats.hits;
   cell.misses = stats.misses;
+  cell.read_failures = stats.read_failures;
+  cell.write_failures = stats.write_failures;
+  cell.retries = stats.retries;
   AccessBufferStats end_stats = pool.access_buffer_stats();
   cell.buffer_stats.drains = end_stats.drains - setup_stats.drains;
   cell.buffer_stats.drained_records =
@@ -162,7 +172,8 @@ void WriteJson(const char* path, const BenchProvenance& provenance,
         "\"hit_ratio\": %.4f, \"hits\": %llu, \"misses\": %llu, "
         "\"drains\": %llu, \"drained_records\": %llu, "
         "\"empty_drains\": %llu, \"full_pushes\": %llu, "
-        "\"records_per_drain\": %.1f}%s\n",
+        "\"records_per_drain\": %.1f, \"read_failures\": %llu, "
+        "\"write_failures\": %llu, \"retries\": %llu}%s\n",
         c.pool.c_str(), c.shards, c.threads, c.batch_capacity, c.ops_per_sec,
         c.hit_ratio, static_cast<unsigned long long>(c.hits),
         static_cast<unsigned long long>(c.misses),
@@ -170,7 +181,11 @@ void WriteJson(const char* path, const BenchProvenance& provenance,
         static_cast<unsigned long long>(c.buffer_stats.drained_records),
         static_cast<unsigned long long>(c.buffer_stats.empty_drains),
         static_cast<unsigned long long>(c.buffer_stats.full_pushes),
-        RecordsPerDrain(c.buffer_stats), i + 1 < cells.size() ? "," : "");
+        RecordsPerDrain(c.buffer_stats),
+        static_cast<unsigned long long>(c.read_failures),
+        static_cast<unsigned long long>(c.write_failures),
+        static_cast<unsigned long long>(c.retries),
+        i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f,
                "  ],\n  \"checks\": {\n"
@@ -293,6 +308,19 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(c.ops_issued));
     }
   }
+
+  uint64_t total_read_failures = 0, total_write_failures = 0,
+           total_retries = 0;
+  for (const Cell& c : cells) {
+    total_read_failures += c.read_failures;
+    total_write_failures += c.write_failures;
+    total_retries += c.retries;
+  }
+  std::printf("\nio error accounting (expect all zero on SimDisk): "
+              "read_failures=%llu write_failures=%llu retries=%llu\n",
+              static_cast<unsigned long long>(total_read_failures),
+              static_cast<unsigned long long>(total_write_failures),
+              static_cast<unsigned long long>(total_retries));
 
   double speedup = baseline_8t > 0 ? batched64_8t / baseline_8t : 0.0;
   std::printf("\nspeedup (8 threads, batch 64 vs batch 0, single latch): "

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Quick bench smoke: runs the three hand-rolled microbenchmarks in --quick
+# Quick bench smoke: runs the four hand-rolled microbenchmarks in --quick
 # mode and leaves machine-readable results at the repo root
 # (BENCH_hotpath.json from micro_sharded_pool, BENCH_contention.json from
-# micro_contention, BENCH_policy_overhead.json from micro_policy_overhead).
+# micro_contention, BENCH_policy_overhead.json from micro_policy_overhead,
+# BENCH_faults.json from fault_sweep).
 # Each JSON is stamped with provenance (git SHA, CMake build type,
 # sanitizer) so a result file can always be traced to the commit and build
 # flavour that produced it. Validates that every file parses as JSON. CI
@@ -42,7 +43,8 @@ if [[ -z "$BUILD_TYPE" ]]; then
   BUILD_TYPE=${BUILD_TYPE:-unknown}
 fi
 
-for bin in micro_sharded_pool micro_contention micro_policy_overhead; do
+for bin in micro_sharded_pool micro_contention micro_policy_overhead \
+           fault_sweep; do
   if [[ ! -x "$BUILD/bench/$bin" ]]; then
     echo "bench binaries not found under $BUILD/bench — build first:" >&2
     echo "  cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
@@ -59,9 +61,11 @@ PROVENANCE=(--git-sha "$GIT_SHA" --build-type "$BUILD_TYPE"
     "${PROVENANCE[@]}"
 "$BUILD/bench/micro_policy_overhead" $QUICK \
     --json BENCH_policy_overhead.json "${PROVENANCE[@]}"
+"$BUILD/bench/fault_sweep" $QUICK --json BENCH_faults.json \
+    "${PROVENANCE[@]}"
 
 for f in BENCH_hotpath.json BENCH_contention.json \
-         BENCH_policy_overhead.json; do
+         BENCH_policy_overhead.json BENCH_faults.json; do
   python3 -m json.tool "$f" > /dev/null
   echo "$f: valid JSON"
 done

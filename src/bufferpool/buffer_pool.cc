@@ -32,6 +32,22 @@ BufferPool::~BufferPool() {
   (void)FlushAll();
 }
 
+Status BufferPool::DiskRead(PageId p, char* out) {
+  RetryOutcome outcome = RetryWithBackoff(
+      options_.io_retry, [&] { return disk_->ReadPage(p, out); });
+  stats_.retries += outcome.retries;
+  if (!outcome.status.ok()) ++stats_.read_failures;
+  return outcome.status;
+}
+
+Status BufferPool::DiskWrite(PageId p, const char* data) {
+  RetryOutcome outcome = RetryWithBackoff(
+      options_.io_retry, [&] { return disk_->WritePage(p, data); });
+  stats_.retries += outcome.retries;
+  if (!outcome.status.ok()) ++stats_.write_failures;
+  return outcome.status;
+}
+
 Result<FrameId> BufferPool::AcquireFrame() {
   if (!free_frames_.empty()) {
     FrameId f = free_frames_.back();
@@ -49,24 +65,23 @@ Result<FrameId> BufferPool::AcquireFrame() {
   FrameId f = it->second;
   Page& page = frames_[f];
   LRUK_ASSERT(page.pin_count_ == 0, "policy evicted a pinned page");
-  Status written = Status::Ok();
   if (page.dirty_) {
-    written = disk_->WritePage(page.id_, page.Data());
-    if (written.ok()) ++stats_.dirty_writebacks;
-    // On failure the eviction still completes below: the policy already
-    // dropped the victim, and leaving it in the page table would let a
-    // later fetch take the hit path for a page the policy no longer
-    // tracks. The victim's unwritten changes are lost; the caller sees
-    // the write error instead of a frame.
+    // Write back BEFORE dismantling any pool state, so a failure can roll
+    // the eviction back: the frame still holds the page image and its
+    // page-table entry, pin count (0) and dirty bit are untouched —
+    // Restore() re-registers the victim with the policy and the pool is
+    // exactly as it was before Evict(). No eviction is counted.
+    Status written = DiskWrite(page.id_, page.Data());
+    if (!written.ok()) {
+      policy_->Restore(*victim);
+      return written;
+    }
+    ++stats_.dirty_writebacks;
   }
   page_table_.erase(it);
   page.id_ = kInvalidPageId;
   page.dirty_ = false;
   ++stats_.evictions;
-  if (!written.ok()) {
-    free_frames_.push_back(f);
-    return written;
-  }
   return f;
 }
 
@@ -112,8 +127,11 @@ Result<Page*> BufferPool::FetchPage(PageId p, AccessType type) {
   auto frame = AcquireFrame();
   if (!frame.ok()) return frame.status();
   Page& page = frames_[*frame];
-  Status read = disk_->ReadPage(p, page.Data());
+  Status read = DiskRead(p, page.Data());
   if (!read.ok()) {
+    // The page was never admitted: the policy has no entry for p, the
+    // page table is untouched, and the frame (legitimately freed by a
+    // completed eviction, or taken from the free list) goes back unused.
     free_frames_.push_back(*frame);
     return read;
   }
@@ -187,7 +205,9 @@ Status BufferPool::FlushPage(PageId p) {
     return Status::NotFound("flush of non-resident page " + std::to_string(p));
   }
   Page& page = frames_[it->second];
-  LRUK_RETURN_IF_ERROR(disk_->WritePage(p, page.Data()));
+  // On failure the dirty flag is untouched, so the write is retried by
+  // the next flush or eviction rather than silently dropped.
+  LRUK_RETURN_IF_ERROR(DiskWrite(p, page.Data()));
   page.dirty_ = false;
   return Status::Ok();
 }
@@ -197,13 +217,21 @@ Status BufferPool::FlushAll() {
   // Also the teardown drain: the destructor flushes, so no reference is
   // ever lost to a dropped buffer.
   DrainAccessBufferLocked();
+  // Try every dirty page even after a failure (a single bad page must not
+  // shadow the rest); report the first error. Failed pages keep their
+  // dirty flag so a later FlushAll completes the job.
+  Status first_error = Status::Ok();
   for (const auto& [p, frame] : page_table_) {
     Page& page = frames_[frame];
     if (!page.dirty_) continue;
-    LRUK_RETURN_IF_ERROR(disk_->WritePage(p, page.Data()));
-    page.dirty_ = false;
+    Status written = DiskWrite(p, page.Data());
+    if (written.ok()) {
+      page.dirty_ = false;
+    } else if (first_error.ok()) {
+      first_error = written;
+    }
   }
-  return Status::Ok();
+  return first_error;
 }
 
 Status BufferPool::DeletePage(PageId p) {
@@ -214,19 +242,22 @@ Status BufferPool::DeletePage(PageId p) {
   // the delete fails below anyway.
   DrainAccessBufferLocked();
   auto it = page_table_.find(p);
+  if (it != page_table_.end() && frames_[it->second].pin_count_ > 0) {
+    return Status::InvalidArgument("delete of pinned page " +
+                                   std::to_string(p));
+  }
+  // Deallocate on disk FIRST: if it fails, the pool (frame table, policy
+  // history, dirty image) is untouched and the page is still usable.
+  LRUK_RETURN_IF_ERROR(disk_->DeallocatePage(p));
   if (it != page_table_.end()) {
     Page& page = frames_[it->second];
-    if (page.pin_count_ > 0) {
-      return Status::InvalidArgument("delete of pinned page " +
-                                     std::to_string(p));
-    }
     policy_->Remove(p);
     free_frames_.push_back(it->second);
     page.id_ = kInvalidPageId;
     page.dirty_ = false;
     page_table_.erase(it);
   }
-  return disk_->DeallocatePage(p);
+  return Status::Ok();
 }
 
 }  // namespace lruk

@@ -35,6 +35,7 @@
 #include "core/access_buffer.h"
 #include "core/replacement_policy.h"
 #include "storage/disk_manager.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace lruk {
@@ -58,6 +59,11 @@ struct BufferPoolOptions {
   // per-thread buffer (uncontended per-stripe producer mutex, per-stripe
   // rather than global FIFO).
   size_t batch_stripes = 1;
+  // Bounded retry of transient (kIoError) disk read/write failures before
+  // the error surfaces to the caller. Off by default (max_attempts = 1);
+  // see util/retry.h. The retry runs under the pool latch — size the
+  // backoff accordingly (or leave `sleep` null for immediate re-issue).
+  RetryOptions io_retry;
 };
 
 class BufferPool final : public PoolInterface {
@@ -116,8 +122,14 @@ class BufferPool final : public PoolInterface {
   }
 
  private:
+  // Disk I/O under options_.io_retry, with the pool's failure/retry
+  // accounting. Caller holds the latch.
+  Status DiskRead(PageId p, char* out);
+  Status DiskWrite(PageId p, const char* data);
   // Finds a frame for a new resident page: the free list first, then a
-  // policy eviction (with dirty write-back).
+  // policy eviction (with dirty write-back). If the victim's write-back
+  // fails, the eviction is rolled back (policy_->Restore) and the pool is
+  // left exactly as before the call.
   Result<FrameId> AcquireFrame();
   // NewPage/AdmitNewPage body; the latch is already held.
   Result<Page*> AdmitNewPageLocked(PageId p);

@@ -39,7 +39,11 @@ Result<PageGuard> PageGuard::New(PoolInterface& pool) {
 
 void PageGuard::Release() {
   if (page_ != nullptr) {
-    // The unpin can only fail on protocol misuse, which the guard rules out.
+    // UnpinPage performs no I/O (write-back happens at eviction or flush
+    // time), so there is no fault path here: the unpin can only fail on
+    // protocol misuse, which the guard rules out. A failed Fetch/New never
+    // constructs a guard, so a guard never holds a pin the pool rolled
+    // back.
     Status status = pool_->UnpinPage(page_->id(), dirty_);
     LRUK_ASSERT(status.ok(), status.ToString().c_str());
     pool_ = nullptr;

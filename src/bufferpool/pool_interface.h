@@ -20,13 +20,20 @@ namespace lruk {
 // as a first pin did, so hits measure "fetches that did not touch disk".
 // NewPage, FlushPage and DeletePage count neither hits nor misses.
 // `evictions` counts policy-chosen victims only (DeletePage is not an
-// eviction); `dirty_writebacks` counts eviction-time write-backs (explicit
-// FlushPage/FlushAll writes are not included).
+// eviction, and an eviction whose dirty write-back failed — and was rolled
+// back — is not counted); `dirty_writebacks` counts eviction-time
+// write-backs (explicit FlushPage/FlushAll writes are not included).
+// `read_failures`/`write_failures` count pool-issued disk ops that failed
+// after exhausting any configured retries; `retries` counts the re-issues
+// spent by BufferPoolOptions::io_retry (0 when retries are off).
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t dirty_writebacks = 0;
+  uint64_t read_failures = 0;
+  uint64_t write_failures = 0;
+  uint64_t retries = 0;
 
   double HitRatio() const {
     uint64_t total = hits + misses;
@@ -39,6 +46,9 @@ struct BufferPoolStats {
     misses += other.misses;
     evictions += other.evictions;
     dirty_writebacks += other.dirty_writebacks;
+    read_failures += other.read_failures;
+    write_failures += other.write_failures;
+    retries += other.retries;
     return *this;
   }
 };
@@ -67,7 +77,10 @@ class PoolInterface {
   // pins). Clears the dirty flag.
   virtual Status FlushPage(PageId p) = 0;
 
-  // Flushes every dirty resident page.
+  // Flushes every dirty resident page. On write failure, attempts every
+  // remaining dirty page anyway and returns the first error; pages whose
+  // write failed keep their dirty flag, so a later FlushAll can complete
+  // the job once the fault clears.
   virtual Status FlushAll() = 0;
 
   // Removes the page from the pool and deallocates it on disk. Fails if

@@ -85,10 +85,15 @@ Status ShardedBufferPool::FlushPage(PageId p) {
 }
 
 Status ShardedBufferPool::FlushAll() {
+  // Mirror BufferPool::FlushAll's try-all semantics across shards: one
+  // failing shard must not leave later shards' dirty pages unattempted.
+  // Failed pages keep their dirty flag inside their shard.
+  Status first_error = Status::Ok();
   for (auto& shard : shards_) {
-    LRUK_RETURN_IF_ERROR(shard->FlushAll());
+    Status flushed = shard->FlushAll();
+    if (!flushed.ok() && first_error.ok()) first_error = flushed;
   }
-  return Status::Ok();
+  return first_error;
 }
 
 Status ShardedBufferPool::DeletePage(PageId p) {

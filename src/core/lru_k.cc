@@ -277,6 +277,36 @@ std::optional<PageId> LruKPolicy::Evict() {
   return victim;
 }
 
+void LruKPolicy::Restore(PageId p) {
+  // No Tick(): restoring a failed eviction is not a reference. GetOrCreate
+  // pulls the block back out of the non-resident index; if the eviction's
+  // OnEvicted dropped it (budget) or it expired, the page restarts fresh.
+  bool had_history = false;
+  HistoryBlock& block = table_.GetOrCreate(p, time_, &had_history);
+  LRUK_ASSERT(!block.resident, "Restore on a resident page");
+  if (!had_history) {
+    block.hist.front() = time_;
+    block.last = time_;
+    block.last_process = current_process_;
+  }
+  block.resident = true;
+  block.evictable = true;
+  switch (index_kind_) {
+    case VictimIndex::kOrderedSet:
+      queue_.insert(KeyFor(p, block));
+      break;
+    case VictimIndex::kLazyHeap:
+      // Evict()'s pop cleared in_victim_heap for the true victim, so this
+      // re-establishes heap coverage with the page's current key.
+      HeapPushIfAbsent(p, block);
+      break;
+    case VictimIndex::kLinear:
+      break;
+  }
+  ++resident_count_;
+  ++evictable_count_;
+}
+
 void LruKPolicy::Remove(PageId p) {
   HistoryBlock* block = table_.Find(p);
   LRUK_ASSERT(block != nullptr && block->resident,

@@ -118,6 +118,13 @@ class LruKPolicy final : public ReplacementPolicy {
   void RecordAccess(PageId p, AccessType type) override;
   void Admit(PageId p, AccessType type) override;
   std::optional<PageId> Evict() override;
+  // Exact un-evict: re-marks the page resident against its retained
+  // history block, without ticking the clock — a failed write-back leaves
+  // the policy byte-identical to the pre-Evict state. If the block was
+  // dropped (non-resident budget, RIP expiry) the page restarts with
+  // infinite backward distance, i.e. preferred victim, which is the most
+  // conservative recovery.
+  void Restore(PageId p) override;
   void Remove(PageId p) override;
   void SetEvictable(PageId p, bool evictable) override;
   size_t ResidentCount() const override { return resident_count_; }

@@ -78,6 +78,15 @@ class ReplacementPolicy {
   // evictable. Does not tick the clock.
   virtual std::optional<PageId> Evict() = 0;
 
+  // Re-registers a page Evict() just returned, because the eviction's side
+  // effects failed (the dirty write-back errored) and the frame still holds
+  // the page. Precondition: !IsResident(p), and p was the most recent
+  // Evict() result. Afterwards p is resident and evictable again, as if
+  // Evict() had never chosen it. The default costs one clock tick by
+  // re-admitting; policies that retain history (LRU-K) override it to
+  // restore exactly, without a tick.
+  virtual void Restore(PageId p) { Admit(p, AccessType::kRead); }
+
   // Forgets the resident page `p` without an eviction decision (e.g. the
   // containing object was deleted). Precondition: IsResident(p).
   virtual void Remove(PageId p) = 0;

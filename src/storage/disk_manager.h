@@ -20,11 +20,22 @@ inline constexpr size_t kPageSize = 4096;
 // Cumulative I/O accounting, including the simulated elapsed service time
 // (reads/writes to a simulated disk cost `read/write_micros` each, giving
 // benches an I/O-time axis in addition to hit ratios).
+//
+// Counting semantics: `reads`/`writes` count operations that *succeeded*;
+// `read_failures`/`write_failures` count operations that returned an error
+// (whether injected by a FaultInjectingDiskManager or organic, e.g. a read
+// of an unallocated page). `retries` counts re-issued operations — a
+// read/write of the same page immediately after a failed attempt of the
+// same kind — as observed by managers that can detect them (the fault
+// injector); plain managers leave it 0.
 struct IoStats {
   uint64_t reads = 0;
   uint64_t writes = 0;
   uint64_t allocations = 0;
   uint64_t deallocations = 0;
+  uint64_t read_failures = 0;
+  uint64_t write_failures = 0;
+  uint64_t retries = 0;
   double simulated_micros = 0.0;
 };
 
@@ -50,8 +61,12 @@ class DiskManager {
   // Number of currently allocated pages.
   virtual uint64_t NumAllocatedPages() const = 0;
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats{}; }
+  // Virtual so wrapping managers (FaultInjectingDiskManager) can merge
+  // their own accounting into the view; returns by value for that reason.
+  // ResetStats() zeroes every IoStats field, including the failure/retry
+  // counters.
+  virtual IoStats stats() const { return stats_; }
+  virtual void ResetStats() { stats_ = IoStats{}; }
 
  protected:
   IoStats stats_;

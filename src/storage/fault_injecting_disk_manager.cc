@@ -1,0 +1,254 @@
+#include "storage/fault_injecting_disk_manager.h"
+
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+#include "util/random.h"
+
+namespace lruk {
+
+FaultRule FaultRule::FailNth(FaultOp op, uint64_t nth) {
+  FaultRule rule;
+  rule.op = op;
+  rule.effect = FaultEffect::kError;
+  rule.nth = nth;
+  rule.max_fires = 1;
+  return rule;
+}
+
+FaultRule FaultRule::FailPage(FaultOp op, PageId page) {
+  FaultRule rule;
+  rule.op = op;
+  rule.effect = FaultEffect::kError;
+  rule.page = page;
+  return rule;
+}
+
+FaultRule FaultRule::FailWithProbability(FaultOp op, double p) {
+  FaultRule rule;
+  rule.op = op;
+  rule.effect = FaultEffect::kError;
+  rule.probability = p;
+  return rule;
+}
+
+FaultRule FaultRule::TornWriteNth(uint64_t nth, size_t bytes_written) {
+  FaultRule rule;
+  rule.op = FaultOp::kWrite;
+  rule.effect = FaultEffect::kTornWrite;
+  rule.nth = nth;
+  rule.max_fires = 1;
+  rule.torn_bytes = bytes_written;
+  return rule;
+}
+
+FaultRule FaultRule::TornWriteWithProbability(double p,
+                                              size_t bytes_written) {
+  FaultRule rule;
+  rule.op = FaultOp::kWrite;
+  rule.effect = FaultEffect::kTornWrite;
+  rule.probability = p;
+  rule.torn_bytes = bytes_written;
+  return rule;
+}
+
+FaultRule FaultRule::LatencySpikeNth(FaultOp op, uint64_t nth,
+                                     double micros) {
+  FaultRule rule;
+  rule.op = op;
+  rule.effect = FaultEffect::kLatency;
+  rule.nth = nth;
+  rule.max_fires = 1;
+  rule.latency_micros = micros;
+  return rule;
+}
+
+FaultRule FaultRule::LatencyWithProbability(FaultOp op, double p,
+                                            double micros) {
+  FaultRule rule;
+  rule.op = op;
+  rule.effect = FaultEffect::kLatency;
+  rule.probability = p;
+  rule.latency_micros = micros;
+  return rule;
+}
+
+std::string FaultEventToString(const FaultEvent& event) {
+  std::string out = "op#" + std::to_string(event.op_index);
+  out += event.op == FaultOp::kRead ? " read" : " write";
+  out += " page " + std::to_string(event.page);
+  out += " rule " + std::to_string(event.rule_index);
+  switch (event.effect) {
+    case FaultEffect::kError:
+      out += " error";
+      break;
+    case FaultEffect::kTornWrite:
+      out += " torn";
+      break;
+    case FaultEffect::kLatency:
+      out += " latency";
+      break;
+  }
+  return out;
+}
+
+FaultInjectingDiskManager::FaultInjectingDiskManager(
+    DiskManager* inner, uint64_t seed, std::vector<FaultRule> schedule)
+    : inner_(inner),
+      rng_state_(seed),
+      schedule_(std::move(schedule)),
+      rule_state_(schedule_.size()),
+      scratch_(std::make_unique<char[]>(kPageSize)) {
+  LRUK_ASSERT(inner_ != nullptr, "fault injector needs an inner manager");
+}
+
+void FaultInjectingDiskManager::AddRule(FaultRule rule) {
+  std::lock_guard<std::mutex> guard(latch_);
+  schedule_.push_back(rule);
+  rule_state_.emplace_back();
+  healed_ = false;
+}
+
+void FaultInjectingDiskManager::Heal() {
+  std::lock_guard<std::mutex> guard(latch_);
+  healed_ = true;
+}
+
+bool FaultInjectingDiskManager::healed() const {
+  std::lock_guard<std::mutex> guard(latch_);
+  return healed_;
+}
+
+std::vector<FaultEvent> FaultInjectingDiskManager::Trace() const {
+  std::lock_guard<std::mutex> guard(latch_);
+  return trace_;
+}
+
+size_t FaultInjectingDiskManager::TraceSize() const {
+  std::lock_guard<std::mutex> guard(latch_);
+  return trace_.size();
+}
+
+double FaultInjectingDiskManager::NextDraw() {
+  // 53 uniform bits into [0, 1), as RandomEngine::NextDouble does.
+  return static_cast<double>(SplitMix64Next(rng_state_) >> 11) *
+         (1.0 / 9007199254740992.0);
+}
+
+void FaultInjectingDiskManager::RecordEventLocked(FaultOp op, PageId p,
+                                                  size_t rule_index) {
+  trace_.push_back(FaultEvent{op_index_, op, schedule_[rule_index].effect, p,
+                              rule_index});
+}
+
+std::optional<size_t> FaultInjectingDiskManager::EvaluateLocked(FaultOp op,
+                                                                PageId p) {
+  if (healed_) return std::nullopt;
+  for (size_t i = 0; i < schedule_.size(); ++i) {
+    const FaultRule& rule = schedule_[i];
+    RuleState& state = rule_state_[i];
+    if (rule.op != op) continue;
+    if (rule.page.has_value() && *rule.page != p) continue;
+    if (rule.max_fires != 0 && state.fires >= rule.max_fires) continue;
+    ++state.matches;
+    if (rule.nth != 0 && state.matches != rule.nth) continue;
+    // The draw is consumed on every armed evaluation of a probabilistic
+    // rule — fired or not — so the stream position is a pure function of
+    // the op sequence and the faults replay exactly.
+    if (rule.probability > 0.0 && NextDraw() >= rule.probability) continue;
+    ++state.fires;
+    if (rule.effect == FaultEffect::kLatency) {
+      injected_.simulated_micros += rule.latency_micros;
+      RecordEventLocked(op, p, i);
+      continue;  // Non-terminal: the op still happens.
+    }
+    RecordEventLocked(op, p, i);
+    return i;
+  }
+  return std::nullopt;
+}
+
+void FaultInjectingDiskManager::NoteOutcomeLocked(FaultOp op, PageId p,
+                                                  bool failed) {
+  if (last_op_.has_value() && last_op_->failed && last_op_->op == op &&
+      last_op_->page == p) {
+    ++injected_.retries;
+  }
+  last_op_ = LastOp{op, p, failed};
+}
+
+Status FaultInjectingDiskManager::ReadPage(PageId p, char* out) {
+  std::lock_guard<std::mutex> guard(latch_);
+  ++op_index_;
+  std::optional<size_t> fired = EvaluateLocked(FaultOp::kRead, p);
+  if (fired.has_value()) {
+    ++injected_.read_failures;
+    NoteOutcomeLocked(FaultOp::kRead, p, /*failed=*/true);
+    return Status(schedule_[*fired].error_code,
+                  "injected read fault on page " + std::to_string(p));
+  }
+  Status status = inner_->ReadPage(p, out);
+  NoteOutcomeLocked(FaultOp::kRead, p, !status.ok());
+  return status;
+}
+
+Status FaultInjectingDiskManager::WritePage(PageId p, const char* data) {
+  std::lock_guard<std::mutex> guard(latch_);
+  ++op_index_;
+  std::optional<size_t> fired = EvaluateLocked(FaultOp::kWrite, p);
+  if (fired.has_value()) {
+    const FaultRule& rule = schedule_[*fired];
+    if (rule.effect == FaultEffect::kTornWrite) {
+      // Physically tear the page on the inner manager: old image with the
+      // new prefix over it. An unreadable page (never written) tears over
+      // zeros, matching what the inner read would have produced.
+      if (!inner_->ReadPage(p, scratch_.get()).ok()) {
+        std::memset(scratch_.get(), 0, kPageSize);
+      }
+      size_t n = rule.torn_bytes < kPageSize ? rule.torn_bytes : kPageSize;
+      std::memcpy(scratch_.get(), data, n);
+      (void)inner_->WritePage(p, scratch_.get());
+    }
+    ++injected_.write_failures;
+    NoteOutcomeLocked(FaultOp::kWrite, p, /*failed=*/true);
+    return Status(rule.error_code, (rule.effect == FaultEffect::kTornWrite
+                                        ? "injected torn write on page "
+                                        : "injected write fault on page ") +
+                                       std::to_string(p));
+  }
+  Status status = inner_->WritePage(p, data);
+  NoteOutcomeLocked(FaultOp::kWrite, p, !status.ok());
+  return status;
+}
+
+Result<PageId> FaultInjectingDiskManager::AllocatePage() {
+  return inner_->AllocatePage();
+}
+
+Status FaultInjectingDiskManager::DeallocatePage(PageId p) {
+  return inner_->DeallocatePage(p);
+}
+
+uint64_t FaultInjectingDiskManager::NumAllocatedPages() const {
+  return inner_->NumAllocatedPages();
+}
+
+IoStats FaultInjectingDiskManager::stats() const {
+  std::lock_guard<std::mutex> guard(latch_);
+  IoStats out = inner_->stats();
+  out.read_failures += injected_.read_failures;
+  out.write_failures += injected_.write_failures;
+  out.retries += injected_.retries;
+  out.simulated_micros += injected_.simulated_micros;
+  return out;
+}
+
+void FaultInjectingDiskManager::ResetStats() {
+  std::lock_guard<std::mutex> guard(latch_);
+  inner_->ResetStats();
+  injected_ = IoStats{};
+  last_op_.reset();
+}
+
+}  // namespace lruk

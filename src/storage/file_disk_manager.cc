@@ -27,12 +27,17 @@ FileDiskManager::~FileDiskManager() {
 
 Status FileDiskManager::ReadPage(PageId p, char* out) {
   std::lock_guard<std::mutex> guard(latch_);
-  if (file_ == nullptr) return Status::IoError("database file not open");
+  if (file_ == nullptr) {
+    ++stats_.read_failures;
+    return Status::IoError("database file not open");
+  }
   if (p >= next_page_id_ ||
       std::find(free_list_.begin(), free_list_.end(), p) != free_list_.end()) {
+    ++stats_.read_failures;
     return Status::NotFound("read of unallocated page " + std::to_string(p));
   }
   if (std::fseek(file_, static_cast<long>(p * kPageSize), SEEK_SET) != 0) {
+    ++stats_.read_failures;
     return Status::IoError("seek failed");
   }
   size_t n = std::fread(out, 1, kPageSize, file_);
@@ -40,6 +45,7 @@ Status FileDiskManager::ReadPage(PageId p, char* out) {
     // Allocated but never written past EOF: the tail reads as zeros.
     if (std::ferror(file_) != 0) {
       std::clearerr(file_);
+      ++stats_.read_failures;
       return Status::IoError("read failed on page " + std::to_string(p));
     }
     std::memset(out + n, 0, kPageSize - n);
@@ -50,18 +56,25 @@ Status FileDiskManager::ReadPage(PageId p, char* out) {
 
 Status FileDiskManager::WritePage(PageId p, const char* data) {
   std::lock_guard<std::mutex> guard(latch_);
-  if (file_ == nullptr) return Status::IoError("database file not open");
+  if (file_ == nullptr) {
+    ++stats_.write_failures;
+    return Status::IoError("database file not open");
+  }
   if (p >= next_page_id_ ||
       std::find(free_list_.begin(), free_list_.end(), p) != free_list_.end()) {
+    ++stats_.write_failures;
     return Status::NotFound("write of unallocated page " + std::to_string(p));
   }
   if (std::fseek(file_, static_cast<long>(p * kPageSize), SEEK_SET) != 0) {
+    ++stats_.write_failures;
     return Status::IoError("seek failed");
   }
   if (std::fwrite(data, 1, kPageSize, file_) != kPageSize) {
+    ++stats_.write_failures;
     return Status::IoError("write failed on page " + std::to_string(p));
   }
   if (std::fflush(file_) != 0) {
+    ++stats_.write_failures;
     return Status::IoError("flush failed on page " + std::to_string(p));
   }
   ++stats_.writes;

@@ -11,6 +11,7 @@ Status SimDiskManager::ReadPage(PageId p, char* out) {
   std::lock_guard<std::mutex> guard(latch_);
   auto it = pages_.find(p);
   if (it == pages_.end()) {
+    ++stats_.read_failures;
     return Status::NotFound("read of unallocated page " + std::to_string(p));
   }
   if (it->second.data == nullptr) {
@@ -27,6 +28,7 @@ Status SimDiskManager::WritePage(PageId p, const char* data) {
   std::lock_guard<std::mutex> guard(latch_);
   auto it = pages_.find(p);
   if (it == pages_.end()) {
+    ++stats_.write_failures;
     return Status::NotFound("write of unallocated page " + std::to_string(p));
   }
   if (it->second.data == nullptr) {

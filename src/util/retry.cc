@@ -1,0 +1,15 @@
+#include "util/retry.h"
+
+#include <chrono>
+#include <thread>
+
+namespace lruk {
+
+std::function<void(double)> SystemSleeper() {
+  return [](double micros) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::micro>(micros));
+  };
+}
+
+}  // namespace lruk

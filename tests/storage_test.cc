@@ -119,5 +119,86 @@ TEST(FileDiskTest, InvalidPathFailsCleanly) {
   EXPECT_FALSE(disk.AllocatePage().ok());
 }
 
+TEST(FileDiskTest, ShortReadAtEofZeroFillsTheTail) {
+  // An allocated-but-never-written page sits past the file's EOF (the file
+  // only grows on write); the read must come back as all zeros, not as an
+  // error and not as a short buffer. Writing an *earlier* page afterwards
+  // must not change that.
+  std::string path = ::testing::TempDir() + "/lruk_filedisk_shortread.db";
+  std::remove(path.c_str());
+  FileDiskManager disk(path);
+  ASSERT_TRUE(disk.Valid());
+
+  auto p0 = disk.AllocatePage();
+  auto p1 = disk.AllocatePage();
+  ASSERT_TRUE(p0.ok());
+  ASSERT_TRUE(p1.ok());
+
+  char buf[kPageSize];
+  std::memset(buf, 0x5C, kPageSize);  // Poison: zeros must be written.
+  ASSERT_TRUE(disk.ReadPage(*p1, buf).ok());
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(buf[i], 0) << i;
+  EXPECT_EQ(disk.stats().read_failures, 0u);
+
+  // Write p0: the file now ends mid-way before p1's slot. p1 still reads
+  // as zeros (a genuinely short fread path, not the empty-file one).
+  char image[kPageSize];
+  FillPattern(image, 5);
+  ASSERT_TRUE(disk.WritePage(*p0, image).ok());
+  std::memset(buf, 0x5C, kPageSize);
+  ASSERT_TRUE(disk.ReadPage(*p1, buf).ok());
+  for (size_t i = 0; i < kPageSize; ++i) ASSERT_EQ(buf[i], 0) << i;
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskTest, FailurePathsCountIntoIoStats) {
+  std::string path = ::testing::TempDir() + "/lruk_filedisk_failures.db";
+  std::remove(path.c_str());
+  FileDiskManager disk(path);
+  ASSERT_TRUE(disk.Valid());
+  auto p = disk.AllocatePage();
+  ASSERT_TRUE(p.ok());
+
+  char buf[kPageSize] = {};
+  EXPECT_EQ(disk.ReadPage(*p + 10, buf).code(), StatusCode::kNotFound);
+  EXPECT_EQ(disk.WritePage(*p + 10, buf).code(), StatusCode::kNotFound);
+  EXPECT_EQ(disk.stats().read_failures, 1u);
+  EXPECT_EQ(disk.stats().write_failures, 1u);
+  EXPECT_EQ(disk.stats().reads, 0u);
+  EXPECT_EQ(disk.stats().writes, 0u);
+
+  // ResetStats covers the failure/retry counters too.
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().read_failures, 0u);
+  EXPECT_EQ(disk.stats().write_failures, 0u);
+  EXPECT_EQ(disk.stats().retries, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskTest, UnopenedFileCountsEveryOpAsFailure) {
+  // The injection seam for "the device is gone": every read and write
+  // fails with kIoError and is accounted as a failure.
+  FileDiskManager disk("/nonexistent-dir/sub/file.db");
+  ASSERT_FALSE(disk.Valid());
+  char buf[kPageSize] = {};
+  EXPECT_EQ(disk.ReadPage(0, buf).code(), StatusCode::kIoError);
+  EXPECT_EQ(disk.WritePage(0, buf).code(), StatusCode::kIoError);
+  EXPECT_EQ(disk.ReadPage(1, buf).code(), StatusCode::kIoError);
+  EXPECT_EQ(disk.stats().read_failures, 2u);
+  EXPECT_EQ(disk.stats().write_failures, 1u);
+}
+
+TEST(SimDiskTest, FailurePathsCountIntoIoStats) {
+  SimDiskManager disk;
+  char buf[kPageSize] = {};
+  EXPECT_EQ(disk.ReadPage(7, buf).code(), StatusCode::kNotFound);
+  EXPECT_EQ(disk.WritePage(7, buf).code(), StatusCode::kNotFound);
+  EXPECT_EQ(disk.stats().read_failures, 1u);
+  EXPECT_EQ(disk.stats().write_failures, 1u);
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().read_failures, 0u);
+  EXPECT_EQ(disk.stats().write_failures, 0u);
+}
+
 }  // namespace
 }  // namespace lruk

@@ -1,0 +1,136 @@
+// Unit tests for util/retry.h: attempt counting, backoff schedule via an
+// injectable sleep, and the retryable-error taxonomy.
+
+#include "util/retry.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace lruk {
+namespace {
+
+TEST(RetryTest, DefaultOptionsRunOnce) {
+  RetryOptions options;  // max_attempts = 1: retries off.
+  int calls = 0;
+  RetryOutcome outcome = RetryWithBackoff(options, [&] {
+    ++calls;
+    return Status::IoError("boom");
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(outcome.retries, 0u);
+  EXPECT_EQ(outcome.status.code(), StatusCode::kIoError);
+}
+
+TEST(RetryTest, SucceedsFirstTry) {
+  RetryOptions options;
+  options.max_attempts = 5;
+  int calls = 0;
+  RetryOutcome outcome = RetryWithBackoff(options, [&] {
+    ++calls;
+    return Status::Ok();
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(outcome.retries, 0u);
+  EXPECT_TRUE(outcome.status.ok());
+}
+
+TEST(RetryTest, AbsorbsTransientFailure) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  int calls = 0;
+  RetryOutcome outcome = RetryWithBackoff(options, [&] {
+    ++calls;
+    return calls < 3 ? Status::IoError("transient") : Status::Ok();
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(outcome.retries, 2u);
+  EXPECT_TRUE(outcome.status.ok());
+}
+
+TEST(RetryTest, ExhaustsAttemptsOnPermanentFailure) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  int calls = 0;
+  RetryOutcome outcome = RetryWithBackoff(options, [&] {
+    ++calls;
+    return Status::IoError("permanent");
+  });
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(outcome.retries, 3u);
+  EXPECT_EQ(outcome.status.code(), StatusCode::kIoError);
+}
+
+TEST(RetryTest, NonRetryableErrorReturnsImmediately) {
+  RetryOptions options;
+  options.max_attempts = 5;
+  int calls = 0;
+  RetryOutcome outcome = RetryWithBackoff(options, [&] {
+    ++calls;
+    return Status::NotFound("semantic error");
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(outcome.retries, 0u);
+  EXPECT_EQ(outcome.status.code(), StatusCode::kNotFound);
+}
+
+TEST(RetryTest, BackoffScheduleIsExponential) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.backoff_micros = 10.0;
+  options.backoff_multiplier = 3.0;
+  std::vector<double> slept;
+  options.sleep = [&](double micros) { slept.push_back(micros); };
+  RetryOutcome outcome =
+      RetryWithBackoff(options, [] { return Status::IoError("always"); });
+  EXPECT_EQ(outcome.retries, 3u);
+  ASSERT_EQ(slept.size(), 3u);
+  EXPECT_DOUBLE_EQ(slept[0], 10.0);
+  EXPECT_DOUBLE_EQ(slept[1], 30.0);
+  EXPECT_DOUBLE_EQ(slept[2], 90.0);
+}
+
+TEST(RetryTest, NullSleepRetriesWithoutWaiting) {
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.backoff_micros = 1e9;  // Would hang if the sleep ran.
+  options.sleep = nullptr;
+  int calls = 0;
+  RetryOutcome outcome = RetryWithBackoff(options, [&] {
+    ++calls;
+    return Status::IoError("always");
+  });
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(outcome.retries, 2u);
+}
+
+TEST(RetryTest, ZeroAndNegativeAttemptsClampToOne) {
+  for (int attempts : {0, -3}) {
+    RetryOptions options;
+    options.max_attempts = attempts;
+    int calls = 0;
+    (void)RetryWithBackoff(options, [&] {
+      ++calls;
+      return Status::IoError("boom");
+    });
+    EXPECT_EQ(calls, 1);
+  }
+}
+
+TEST(RetryTest, IsRetryableErrorTaxonomy) {
+  EXPECT_TRUE(IsRetryableError(StatusCode::kIoError));
+  EXPECT_FALSE(IsRetryableError(StatusCode::kOk));
+  EXPECT_FALSE(IsRetryableError(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetryableError(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryableError(StatusCode::kResourceExhausted));
+}
+
+TEST(RetryTest, SystemSleeperIsCallable) {
+  // Smoke only: a sub-millisecond nap must return (no deadlock, no throw).
+  auto sleeper = SystemSleeper();
+  ASSERT_TRUE(sleeper != nullptr);
+  sleeper(50.0);
+}
+
+}  // namespace
+}  // namespace lruk
