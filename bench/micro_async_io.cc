@@ -1,0 +1,534 @@
+// Async-I/O microbenchmark: measures the two wins the IoDispatcher claims.
+//
+// Section 1 — scan latency (deterministic, inline dispatcher). Example
+// 1.2-style workloads driven through a real BufferPool over a simulated
+// 10 ms disk: a pure sequential scan, and an interactive/hot mix where a
+// batch scan reads sequential chunks between bursts of hot-set traffic.
+// Readahead off is the synchronous baseline: every scan page is a demand
+// miss, so the caller stalls misses x read_micros of simulated I/O time.
+// Readahead on prefetches the detected run; the same pages still cross
+// the disk, but almost none of the reads happen on the demand path. The
+// pool runs LRU-2 with a correlated reference period so the
+// prefetch-admit + demand-hit pair counts as one uncorrelated reference
+// — scanned pages stay preferred victims (the paper's scan-resistance
+// story) while the not-yet-consumed readahead window, being the most
+// recently touched of the once-referenced pages, survives until demand.
+//
+// Section 2 — coalescing (threaded, worker mode). Eight threads churn a
+// skewed page set over a disk wrapper that sleeps for real microseconds
+// per read, widening the window in which concurrent misses on the same
+// page land; the per-page request tracker folds those into one physical
+// read. The background flusher runs too, so eviction write-back is
+// measured off the miss path.
+//
+// Shape checks (CI greps for ": NO"):
+//  * readahead — simulated foreground stall with readahead on is at
+//    least 5x below the synchronous baseline in every scan pair, with
+//    prefetch_used nonzero.
+//  * coalescing — coalesced_reads nonzero in every threaded cell, and
+//    physical reads never exceed misses.
+//  * background cleaning — background_cleans nonzero in every threaded
+//    cell.
+//  * accounting — hits + misses == ops issued in every cell.
+//
+// Flags: --json <path> writes machine-readable results (BENCH_async_io
+// trajectory); --quick shrinks op counts for CI smoke runs.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "bufferpool/buffer_pool.h"
+#include "bufferpool/pool_interface.h"
+#include "bufferpool/sharded_buffer_pool.h"
+#include "core/lru_k.h"
+#include "core/policy_factory.h"
+#include "sim/table.h"
+#include "storage/sim_disk_manager.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace lruk {
+namespace {
+
+constexpr double kReadMicros = 10000.0;  // 10 ms simulated disk read.
+constexpr Timestamp kScanCrp = 64;       // Covers the admit->demand gap.
+
+// ---------------------------------------------------------------------
+// Section 1: scan latency.
+
+struct ScanCell {
+  std::string workload;  // "sequential-scan" | "example-1.2-mix"
+  std::string pool;      // "single-latch" | "sharded x4"
+  bool readahead = false;
+  uint64_t ops = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_used = 0;
+  uint64_t physical_reads = 0;
+  double foreground_stall_ms = 0.0;
+  bool accounting_exact = false;
+};
+
+std::unique_ptr<PoolInterface> MakePool(const std::string& pool_kind,
+                                        size_t frames, DiskManager* disk,
+                                        const BufferPoolOptions& options) {
+  if (pool_kind == "single-latch") {
+    return std::make_unique<BufferPool>(
+        frames, disk,
+        std::make_unique<LruKPolicy>(LruKOptions{
+            .k = 2,
+            .correlated_reference_period = kScanCrp,
+            .capacity_hint = frames}),
+        options);
+  }
+  auto factory =
+      MakeShardPolicyFactory(PolicyConfig::LruK(2, kScanCrp));
+  if (!factory.ok()) {
+    std::fprintf(stderr, "factory: %s\n",
+                 factory.status().ToString().c_str());
+    return nullptr;
+  }
+  return std::make_unique<ShardedBufferPool>(frames, /*num_shards=*/4, disk,
+                                             *factory, options);
+}
+
+// Allocates `db_pages` through the pool, flushes, and zeroes all stats so
+// the measured phase starts from a cold-but-allocated database.
+bool AllocateDb(PoolInterface* pool, DiskManager* disk, uint64_t db_pages,
+                std::vector<PageId>* pages) {
+  pages->clear();
+  pages->reserve(db_pages);
+  for (uint64_t i = 0; i < db_pages; ++i) {
+    auto page = pool->NewPage();
+    if (!page.ok()) {
+      std::fprintf(stderr, "allocation failed: %s\n",
+                   page.status().ToString().c_str());
+      return false;
+    }
+    pages->push_back((*page)->id());
+    (void)pool->UnpinPage((*page)->id(), false);
+  }
+  if (!pool->FlushAll().ok()) return false;
+  pool->ResetStats();
+  disk->ResetStats();
+  return true;
+}
+
+// One deterministic scan cell: single-threaded, inline dispatcher, so the
+// demand-miss count (and with it the simulated foreground stall) is exact
+// and replayable.
+ScanCell RunScanCell(const std::string& workload,
+                     const std::string& pool_kind, bool readahead,
+                     uint64_t scan_pages, uint64_t hot_pages,
+                     uint64_t chunk) {
+  ScanCell cell;
+  cell.workload = workload;
+  cell.pool = pool_kind;
+  cell.readahead = readahead;
+
+  SimDiskOptions disk_options;
+  disk_options.read_micros = kReadMicros;
+  disk_options.write_micros = kReadMicros;
+  SimDiskManager disk(disk_options);
+
+  constexpr size_t kFrames = 512;
+  BufferPoolOptions options;
+  options.io_dispatcher = true;
+  options.io_workers = 0;  // Inline: deterministic, byte-exact.
+  options.readahead.enabled = readahead;
+
+  auto pool = MakePool(pool_kind, kFrames, &disk, options);
+  if (pool == nullptr) return cell;
+
+  std::vector<PageId> pages;
+  if (!AllocateDb(pool.get(), &disk, scan_pages + hot_pages, &pages)) {
+    return cell;
+  }
+
+  // Warm the hot set (mix workload only) so its pages carry >= 2
+  // uncorrelated references and are replacement-protected before the scan
+  // starts competing for frames.
+  RandomEngine rng(20260809);
+  if (hot_pages > 0) {
+    for (uint64_t round = 0; round < 4; ++round) {
+      for (uint64_t h = 0; h < hot_pages; ++h) {
+        PageId p = pages[scan_pages + h];
+        auto page = pool->FetchPage(p, AccessType::kRead);
+        if (page.ok()) (void)pool->UnpinPage(p, false);
+      }
+    }
+    pool->ResetStats();
+    disk.ResetStats();
+  }
+
+  uint64_t ops = 0;
+  uint64_t next_scan = 0;
+  while (next_scan < scan_pages) {
+    // A chunk of the batch scan...
+    for (uint64_t i = 0; i < chunk && next_scan < scan_pages; ++i) {
+      PageId p = pages[next_scan++];
+      auto page = pool->FetchPage(p, AccessType::kRead);
+      if (page.ok()) (void)pool->UnpinPage(p, false);
+      ++ops;
+    }
+    // ...then a burst of interactive traffic (mix workload only).
+    for (uint64_t i = 0; i < chunk && hot_pages > 0; ++i) {
+      PageId p = pages[scan_pages + rng.NextBounded(hot_pages)];
+      auto page = pool->FetchPage(p, AccessType::kRead);
+      if (page.ok()) (void)pool->UnpinPage(p, false);
+      ++ops;
+    }
+  }
+
+  BufferPoolStats stats = pool->stats();
+  cell.ops = ops;
+  cell.hits = stats.hits;
+  cell.misses = stats.misses;
+  cell.prefetch_issued = stats.prefetch_issued;
+  cell.prefetch_used = stats.prefetch_used;
+  cell.physical_reads = disk.stats().reads;
+  // The caller blocks only on demand misses; prefetch reads retire off
+  // the demand path (and overlap with compute once io_workers > 0).
+  cell.foreground_stall_ms =
+      static_cast<double>(stats.misses) * kReadMicros / 1000.0;
+  cell.accounting_exact = stats.hits + stats.misses == ops;
+  return cell;
+}
+
+// ---------------------------------------------------------------------
+// Section 2: coalescing under real concurrency.
+
+// Wraps a DiskManager and sleeps for real microseconds per read, so a
+// miss stays in flight long enough for concurrent misses on the same
+// page to pile onto the request tracker (a simulated-time disk returns
+// instantly and would shrink the coalescing window to nearly nothing).
+class SleepingDiskManager final : public DiskManager {
+ public:
+  SleepingDiskManager(DiskManager* inner, uint64_t read_sleep_micros)
+      : inner_(inner), read_sleep_micros_(read_sleep_micros) {}
+
+  Status ReadPage(PageId p, char* out) override {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(read_sleep_micros_));
+    return inner_->ReadPage(p, out);
+  }
+  Status WritePage(PageId p, const char* data) override {
+    return inner_->WritePage(p, data);
+  }
+  Result<PageId> AllocatePage() override { return inner_->AllocatePage(); }
+  Status DeallocatePage(PageId p) override {
+    return inner_->DeallocatePage(p);
+  }
+  uint64_t NumAllocatedPages() const override {
+    return inner_->NumAllocatedPages();
+  }
+  IoStats stats() const override { return inner_->stats(); }
+  void ResetStats() override { inner_->ResetStats(); }
+
+ private:
+  DiskManager* inner_;
+  uint64_t read_sleep_micros_;
+};
+
+struct CoalesceCell {
+  std::string pool;
+  uint64_t threads = 0;
+  uint64_t workers = 0;
+  uint64_t ops = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t coalesced_reads = 0;
+  uint64_t background_cleans = 0;
+  uint64_t physical_reads = 0;
+  double coalescing_ratio = 0.0;
+  double wall_seconds = 0.0;
+  bool accounting_exact = false;
+  bool reads_bounded = false;
+};
+
+CoalesceCell RunCoalesceCell(const std::string& pool_kind,
+                             uint64_t ops_per_thread) {
+  CoalesceCell cell;
+  cell.pool = pool_kind;
+  cell.threads = 8;
+  cell.workers = 4;
+
+  constexpr size_t kFrames = 32;
+  constexpr uint64_t kDbPages = 64;
+  constexpr double kWriteFraction = 0.3;
+
+  SimDiskOptions disk_options;
+  disk_options.read_micros = 0.0;
+  disk_options.write_micros = 0.0;
+  SimDiskManager base(disk_options);
+  SleepingDiskManager disk(&base, /*read_sleep_micros=*/200);
+
+  BufferPoolOptions options;
+  options.io_dispatcher = true;
+  options.io_workers = cell.workers;
+  options.io_queue_depth = 64;
+  options.flusher = true;
+  options.flusher_every_ops = 32;
+  options.flusher_batch = 8;
+  options.batch_capacity = 64;
+
+  std::unique_ptr<PoolInterface> pool;
+  if (pool_kind == "single-latch") {
+    pool = std::make_unique<BufferPool>(
+        kFrames, &disk,
+        std::make_unique<LruKPolicy>(
+            LruKOptions{.k = 2, .capacity_hint = kFrames}),
+        options);
+  } else {
+    auto factory = MakeShardPolicyFactory(PolicyConfig::LruK(2));
+    if (!factory.ok()) return cell;
+    pool = std::make_unique<ShardedBufferPool>(kFrames, /*num_shards=*/4,
+                                               &disk, *factory, options);
+  }
+
+  std::vector<PageId> pages;
+  if (!AllocateDb(pool.get(), &disk, kDbPages, &pages)) return cell;
+
+  std::atomic<uint64_t> issued{0};
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(cell.threads);
+  for (uint64_t t = 0; t < cell.threads; ++t) {
+    threads.emplace_back([&, t] {
+      RecursiveSkewDistribution dist(0.8, 0.2, kDbPages);
+      RandomEngine rng(0xA51Cull * (t + 1));
+      for (uint64_t i = 0; i < ops_per_thread; ++i) {
+        PageId p = pages[dist.Sample(rng) - 1];
+        bool write = rng.NextBernoulli(kWriteFraction);
+        auto page = pool->FetchPage(
+            p, write ? AccessType::kWrite : AccessType::kRead);
+        issued.fetch_add(1, std::memory_order_relaxed);
+        if (page.ok()) (void)pool->UnpinPage(p, write);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  cell.wall_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+
+  BufferPoolStats stats = pool->stats();
+  cell.ops = issued.load();
+  cell.hits = stats.hits;
+  cell.misses = stats.misses;
+  cell.coalesced_reads = stats.coalesced_reads;
+  cell.background_cleans = stats.background_cleans;
+  cell.physical_reads = disk.stats().reads;
+  cell.coalescing_ratio =
+      stats.misses > 0
+          ? static_cast<double>(stats.coalesced_reads) / stats.misses
+          : 0.0;
+  cell.accounting_exact = stats.hits + stats.misses == cell.ops;
+  // Every coalesced miss shares another miss's read; prefetching is off,
+  // so the disk can never see more read ops than the pool counted misses.
+  cell.reads_bounded = cell.physical_reads <= cell.misses;
+  return cell;
+}
+
+// ---------------------------------------------------------------------
+
+void WriteJson(const char* path, const BenchProvenance& provenance,
+               const std::vector<ScanCell>& scan_cells,
+               const std::vector<CoalesceCell>& coalesce_cells,
+               bool readahead_ok, bool prefetch_used_ok, bool coalesce_ok,
+               bool cleans_ok, bool accounting_ok) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"micro_async_io\",\n");
+  WriteProvenanceJson(f, provenance);
+  std::fprintf(f, ",\n  \"read_micros\": %.1f,\n  \"scan_cells\": [\n",
+               kReadMicros);
+  for (size_t i = 0; i < scan_cells.size(); ++i) {
+    const ScanCell& c = scan_cells[i];
+    std::fprintf(
+        f,
+        "    {\"workload\": \"%s\", \"pool\": \"%s\", \"readahead\": %s, "
+        "\"ops\": %llu, \"hits\": %llu, \"misses\": %llu, "
+        "\"prefetch_issued\": %llu, \"prefetch_used\": %llu, "
+        "\"physical_reads\": %llu, \"foreground_stall_ms\": %.1f}%s\n",
+        c.workload.c_str(), c.pool.c_str(), c.readahead ? "true" : "false",
+        static_cast<unsigned long long>(c.ops),
+        static_cast<unsigned long long>(c.hits),
+        static_cast<unsigned long long>(c.misses),
+        static_cast<unsigned long long>(c.prefetch_issued),
+        static_cast<unsigned long long>(c.prefetch_used),
+        static_cast<unsigned long long>(c.physical_reads),
+        c.foreground_stall_ms, i + 1 < scan_cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"coalescing_cells\": [\n");
+  for (size_t i = 0; i < coalesce_cells.size(); ++i) {
+    const CoalesceCell& c = coalesce_cells[i];
+    std::fprintf(
+        f,
+        "    {\"pool\": \"%s\", \"threads\": %llu, \"io_workers\": %llu, "
+        "\"ops\": %llu, \"hits\": %llu, \"misses\": %llu, "
+        "\"coalesced_reads\": %llu, \"coalescing_ratio\": %.4f, "
+        "\"background_cleans\": %llu, \"physical_reads\": %llu, "
+        "\"wall_seconds\": %.3f}%s\n",
+        c.pool.c_str(), static_cast<unsigned long long>(c.threads),
+        static_cast<unsigned long long>(c.workers),
+        static_cast<unsigned long long>(c.ops),
+        static_cast<unsigned long long>(c.hits),
+        static_cast<unsigned long long>(c.misses),
+        static_cast<unsigned long long>(c.coalesced_reads),
+        c.coalescing_ratio,
+        static_cast<unsigned long long>(c.background_cleans),
+        static_cast<unsigned long long>(c.physical_reads), c.wall_seconds,
+        i + 1 < coalesce_cells.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"checks\": {\n"
+               "    \"readahead_beats_sync\": %s,\n"
+               "    \"prefetch_used_nonzero\": %s,\n"
+               "    \"coalesced_nonzero\": %s,\n"
+               "    \"background_cleans_nonzero\": %s,\n"
+               "    \"accounting_exact\": %s\n  }\n}\n",
+               readahead_ok ? "true" : "false",
+               prefetch_used_ok ? "true" : "false",
+               coalesce_ok ? "true" : "false", cleans_ok ? "true" : "false",
+               accounting_ok ? "true" : "false");
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace lruk
+
+int main(int argc, char** argv) {
+  using namespace lruk;
+
+  const char* json_path = nullptr;
+  bool quick = false;
+  BenchProvenance provenance;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (ParseProvenanceFlag(argc, argv, &i, &provenance)) {
+      // consumed
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json <path>] [--git-sha <sha>] "
+                   "[--build-type <type>] [--sanitizer <name>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const uint64_t scan_pages = quick ? 2048 : 8192;
+  const uint64_t hot_pages = 128;
+  const uint64_t chunk = 32;
+  const uint64_t ops_per_thread = quick ? 400 : 2500;
+
+  std::printf(
+      "Async I/O: scans over a simulated %.0f ms disk (inline dispatcher, "
+      "LRU-2 CRP=%llu, 512 frames), then 8-thread coalescing churn over a "
+      "sleeping disk\n\n",
+      kReadMicros / 1000.0, static_cast<unsigned long long>(kScanCrp));
+
+  struct ScanSpec {
+    const char* workload;
+    const char* pool;
+    uint64_t hot;
+  };
+  const std::vector<ScanSpec> scan_specs = {
+      {"sequential-scan", "single-latch", 0},
+      {"example-1.2-mix", "single-latch", hot_pages},
+      {"sequential-scan", "sharded x4", 0},
+  };
+
+  std::vector<ScanCell> scan_cells;
+  AsciiTable scan_table({"workload", "pool", "readahead", "misses",
+                         "prefetch used", "physical reads", "stall (ms)"});
+  bool readahead_ok = true;
+  bool prefetch_used_ok = true;
+  bool accounting_ok = true;
+  for (const ScanSpec& spec : scan_specs) {
+    ScanCell off = RunScanCell(spec.workload, spec.pool, false, scan_pages,
+                               spec.hot, chunk);
+    ScanCell on = RunScanCell(spec.workload, spec.pool, true, scan_pages,
+                              spec.hot, chunk);
+    for (const ScanCell* c : {&off, &on}) {
+      scan_table.AddRow({c->workload, c->pool, c->readahead ? "on" : "off",
+                         AsciiTable::Integer(c->misses),
+                         AsciiTable::Integer(c->prefetch_used),
+                         AsciiTable::Integer(c->physical_reads),
+                         AsciiTable::Fixed(c->foreground_stall_ms, 1)});
+      accounting_ok = accounting_ok && c->accounting_exact;
+      scan_cells.push_back(*c);
+    }
+    if (on.foreground_stall_ms * 5 > off.foreground_stall_ms) {
+      readahead_ok = false;
+      std::printf("readahead win too small: %s/%s %.1f ms vs %.1f ms\n",
+                  spec.workload, spec.pool, on.foreground_stall_ms,
+                  off.foreground_stall_ms);
+    }
+    if (on.prefetch_used == 0) prefetch_used_ok = false;
+  }
+  scan_table.Print();
+
+  std::printf("\n");
+  std::vector<CoalesceCell> coalesce_cells;
+  AsciiTable co_table({"pool", "misses", "coalesced", "ratio",
+                       "physical reads", "bg cleans", "wall (s)"});
+  bool coalesce_ok = true;
+  bool cleans_ok = true;
+  bool bounded_ok = true;
+  for (const char* pool_kind : {"single-latch", "sharded x4"}) {
+    CoalesceCell c = RunCoalesceCell(pool_kind, ops_per_thread);
+    co_table.AddRow({c.pool, AsciiTable::Integer(c.misses),
+                     AsciiTable::Integer(c.coalesced_reads),
+                     AsciiTable::Fixed(c.coalescing_ratio, 3),
+                     AsciiTable::Integer(c.physical_reads),
+                     AsciiTable::Integer(c.background_cleans),
+                     AsciiTable::Fixed(c.wall_seconds, 3)});
+    accounting_ok = accounting_ok && c.accounting_exact;
+    bounded_ok = bounded_ok && c.reads_bounded;
+    if (c.coalesced_reads == 0) coalesce_ok = false;
+    if (c.background_cleans == 0) cleans_ok = false;
+    coalesce_cells.push_back(c);
+  }
+  co_table.Print();
+
+  std::printf("\nshape: readahead stalls >= 5x below the synchronous "
+              "baseline in every scan pair: %s\n",
+              readahead_ok ? "yes" : "NO");
+  std::printf("shape: prefetched pages are consumed by demand fetches "
+              "(prefetch_used > 0): %s\n",
+              prefetch_used_ok ? "yes" : "NO");
+  std::printf("shape: concurrent same-page misses coalesce "
+              "(coalesced_reads > 0, physical reads <= misses): %s\n",
+              coalesce_ok && bounded_ok ? "yes" : "NO");
+  std::printf("shape: the background flusher cleans pages off the miss "
+              "path (background_cleans > 0): %s\n",
+              cleans_ok ? "yes" : "NO");
+  std::printf("shape: hit+miss totals exactly equal ops in every cell: %s\n",
+              accounting_ok ? "yes" : "NO");
+
+  if (json_path != nullptr) {
+    WriteJson(json_path, provenance, scan_cells, coalesce_cells,
+              readahead_ok, prefetch_used_ok, coalesce_ok && bounded_ok,
+              cleans_ok, accounting_ok);
+    std::printf("wrote %s\n", json_path);
+  }
+  return readahead_ok && prefetch_used_ok && coalesce_ok && bounded_ok &&
+                 cleans_ok && accounting_ok
+             ? 0
+             : 1;
+}

@@ -7,7 +7,8 @@ namespace lruk {
 
 BufferPool::BufferPool(size_t capacity, DiskManager* disk,
                        std::unique_ptr<ReplacementPolicy> policy,
-                       BufferPoolOptions options)
+                       BufferPoolOptions options,
+                       IoDispatcher* shared_dispatcher)
     : capacity_(capacity),
       disk_(disk),
       policy_(std::move(policy)),
@@ -20,7 +21,20 @@ BufferPool::BufferPool(size_t capacity, DiskManager* disk,
         options_.batch_capacity,
         options_.batch_stripes == 0 ? 1 : options_.batch_stripes);
   }
+  if (options_.io_dispatcher) {
+    if (shared_dispatcher != nullptr) {
+      io_ = shared_dispatcher;
+    } else {
+      owned_io_ = std::make_unique<IoDispatcher>(IoDispatcherOptions{
+          options_.io_workers, options_.io_queue_depth});
+      io_ = owned_io_.get();
+    }
+    if (options_.readahead.enabled) {
+      readahead_ = std::make_unique<ReadaheadDetector>(options_.readahead);
+    }
+  }
   frames_.resize(capacity_);
+  frame_prefetched_.assign(capacity_, 0);
   free_frames_.reserve(capacity_);
   for (FrameId f = 0; f < capacity_; ++f) {
     free_frames_.push_back(static_cast<FrameId>(capacity_ - 1 - f));
@@ -28,7 +42,9 @@ BufferPool::BufferPool(size_t capacity, DiskManager* disk,
 }
 
 BufferPool::~BufferPool() {
-  // Best-effort write-back of surviving dirty pages.
+  // Settle in-flight dispatcher work first (prefetch reads land in frame
+  // buffers), then best-effort write-back of surviving dirty pages.
+  Quiesce();
   (void)FlushAll();
 }
 
@@ -91,34 +107,272 @@ void BufferPool::DrainAccessBufferLocked() const {
   if (access_buffer_ != nullptr) access_buffer_->Drain(*policy_);
 }
 
+void BufferPool::FinishPendingLocked(PageId p,
+                                     const std::shared_ptr<PendingIo>& entry,
+                                     Status status) {
+  entry->status = std::move(status);
+  entry->done = true;
+  pending_reads_.erase(p);
+  entry->cv.notify_all();
+  quiesce_cv_.notify_all();
+}
+
+void BufferPool::FencePageLocked(std::unique_lock<std::mutex>& guard,
+                                 PageId p) {
+  // Waits out every in-flight read of `p` (there is at most one at a time,
+  // but its completion can be followed by a new one before we re-acquire
+  // the latch, hence the loop).
+  while (io_ != nullptr) {
+    auto it = pending_reads_.find(p);
+    if (it == pending_reads_.end()) return;
+    std::shared_ptr<PendingIo> entry = it->second;
+    entry->cv.wait(guard, [&] { return entry->done; });
+  }
+}
+
+void BufferPool::QuiesceLocked(std::unique_lock<std::mutex>& guard) {
+  if (io_ == nullptr) return;
+  quiesce_cv_.wait(guard, [&] {
+    return pending_reads_.empty() && inflight_background_ == 0;
+  });
+}
+
+void BufferPool::Quiesce() {
+  std::unique_lock<std::mutex> guard(latch_);
+  QuiesceLocked(guard);
+}
+
+bool BufferPool::RegisterPrefetchLocked(PageId p) {
+  if (page_table_.contains(p) || pending_reads_.contains(p)) return false;
+  pending_reads_.emplace(p, std::make_shared<PendingIo>());
+  ++inflight_background_;
+  ++stats_.prefetch_issued;
+  return true;
+}
+
+void BufferPool::ExecutePrefetch(PageId p) {
+  std::unique_lock<std::mutex> guard(latch_);
+  auto it = pending_reads_.find(p);
+  LRUK_ASSERT(it != pending_reads_.end(), "prefetch lost its tracker entry");
+  std::shared_ptr<PendingIo> entry = it->second;
+  // A page stays out of the page table for as long as its tracker entry is
+  // alive (demand fetches coalesce onto the entry, AdmitNewPage fences).
+  LRUK_ASSERT(!page_table_.contains(p),
+              "page admitted while its prefetch was in flight");
+  auto abandon = [&](Status status) {
+    // Prefetch failures never surface to demand fetches: coalesced waiters
+    // retry as primaries and take their own (fully accounted) read.
+    ++stats_.prefetch_dropped;
+    entry->retry_as_primary = true;
+    FinishPendingLocked(p, entry, std::move(status));
+    --inflight_background_;
+    quiesce_cv_.notify_all();
+  };
+  DrainAccessBufferLocked();
+  policy_->PrepareAdmit(p);
+  auto frame = AcquireFrame();
+  if (!frame.ok()) {
+    abandon(frame.status());
+    return;
+  }
+  Page& page = frames_[*frame];
+  // The read itself runs with the latch released (we are on a worker in
+  // worker mode, or past the foreground admission in inline mode); the
+  // frame is reserved — in neither the free list nor the page table — and
+  // the tracker entry keeps every other path off the page.
+  RetryOutcome outcome;
+  guard.unlock();
+  outcome = RetryWithBackoff(options_.io_retry,
+                             [&] { return disk_->ReadPage(p, page.Data()); });
+  guard.lock();
+  stats_.retries += outcome.retries;
+  if (!outcome.status.ok()) {
+    free_frames_.push_back(*frame);
+    abandon(outcome.status);
+    return;
+  }
+  page.id_ = p;
+  page.pin_count_ = 0;
+  page.dirty_ = false;
+  page_table_.emplace(p, *frame);
+  frame_prefetched_[*frame] = 1;
+  // The admission ticks the policy clock; the demand reference that
+  // (hopefully) follows lands as a hit within the correlated period.
+  policy_->Admit(p, AccessType::kRead);
+  FinishPendingLocked(p, entry, Status::Ok());
+  --inflight_background_;
+  quiesce_cv_.notify_all();
+}
+
+void BufferPool::CollectBackgroundWorkLocked(PageId p,
+                                             std::vector<PageId>* targets,
+                                             bool* flusher_due) {
+  if (readahead_ != nullptr) {
+    readahead_->Observe(p, &readahead_scratch_);
+    for (PageId q : readahead_scratch_) {
+      if (RegisterPrefetchLocked(q)) targets->push_back(q);
+    }
+  }
+  if (options_.flusher &&
+      ++ops_since_flusher_ >= options_.flusher_every_ops) {
+    ops_since_flusher_ = 0;
+    *flusher_due = true;
+    ++inflight_background_;
+  }
+}
+
+void BufferPool::LaunchBackgroundWork(const std::vector<PageId>& prefetches,
+                                      bool flusher_due) {
+  if (io_ == nullptr) return;
+  for (PageId q : prefetches) {
+    if (io_->TryPost([this, q] { ExecutePrefetch(q); })) continue;
+    // Queue full: the prefetch never runs, so retire its tracker entry
+    // here. Any demand fetch already waiting retries as a primary.
+    std::lock_guard<std::mutex> guard(latch_);
+    auto it = pending_reads_.find(q);
+    LRUK_ASSERT(it != pending_reads_.end() && !it->second->done,
+                "rejected prefetch already completed");
+    std::shared_ptr<PendingIo> entry = it->second;
+    ++stats_.prefetch_dropped;
+    entry->retry_as_primary = true;
+    FinishPendingLocked(q, entry,
+                        Status::ResourceExhausted("dispatcher queue full"));
+    --inflight_background_;
+    quiesce_cv_.notify_all();
+  }
+  if (!flusher_due) return;
+  bool posted = io_->TryPost([this] {
+    RunFlusherPass();
+    std::lock_guard<std::mutex> guard(latch_);
+    --inflight_background_;
+    quiesce_cv_.notify_all();
+  });
+  if (!posted) {
+    // Dropped pass; the next trigger tries again.
+    std::lock_guard<std::mutex> guard(latch_);
+    --inflight_background_;
+    quiesce_cv_.notify_all();
+  }
+}
+
+void BufferPool::RequestPrefetch(PageId p) {
+  if (io_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> guard(latch_);
+    if (!RegisterPrefetchLocked(p)) return;
+  }
+  LaunchBackgroundWork({p}, /*flusher_due=*/false);
+}
+
+void BufferPool::RunFlusherPass() {
+  std::unique_lock<std::mutex> guard(latch_);
+  DrainAccessBufferLocked();
+  // Peek the next victims without evicting: Evict() pops them in victim
+  // order, Restore() puts them back exactly (LRU-K resurrects the HIST
+  // block without a tick; policies with the default re-admitting Restore
+  // pay one tick per peeked page — the flusher is opt-in). LIFO restore
+  // order keeps Restore's "most recent Evict result" contract.
+  std::vector<PageId> victims;
+  size_t want = options_.flusher_batch;
+  if (want > policy_->EvictableCount()) want = policy_->EvictableCount();
+  victims.reserve(want);
+  for (size_t i = 0; i < want; ++i) {
+    auto victim = policy_->Evict();
+    if (!victim.has_value()) break;
+    victims.push_back(*victim);
+  }
+  for (auto it = victims.rbegin(); it != victims.rend(); ++it) {
+    policy_->Restore(*it);
+  }
+  // Clean in victim order, most imminent first. A failed write-back
+  // leaves the page dirty (and resident — it was restored above); the
+  // eviction path retries the write when the page's turn really comes.
+  for (PageId v : victims) {
+    auto entry = page_table_.find(v);
+    LRUK_ASSERT(entry != page_table_.end(),
+                "flusher peeked a page the pool does not hold");
+    Page& page = frames_[entry->second];
+    if (!page.dirty_) continue;
+    Status written = DiskWrite(v, page.Data());
+    if (written.ok()) {
+      page.dirty_ = false;
+      ++stats_.background_cleans;
+    }
+  }
+}
+
 Result<Page*> BufferPool::FetchPage(PageId p, AccessType type) {
   std::unique_lock<std::mutex> guard(latch_);
-  auto it = page_table_.find(p);
-  if (it != page_table_.end()) {
-    Page& page = frames_[it->second];
-    ++stats_.hits;
-    if (access_buffer_ == nullptr) policy_->RecordAccess(p, type);
-    if (page.pin_count_ == 0) policy_->SetEvictable(p, false);
-    ++page.pin_count_;
-    if (type == AccessType::kWrite) page.dirty_ = true;
-    if (access_buffer_ != nullptr) {
-      // Batched hit path: publish the reference outside the latch. The
-      // pin taken above keeps the page resident (and un-evictable) until
-      // the record is drained, so a deferred RecordAccess can never land
-      // on a non-resident page.
+  // Whether this fetch has already been counted (a coalesced waiter counts
+  // its miss when it starts waiting, then resolves through the hit branch
+  // or the primary path below without recounting).
+  bool counted = false;
+  for (;;) {
+    auto it = page_table_.find(p);
+    if (it != page_table_.end()) {
+      Page& page = frames_[it->second];
+      if (!counted) ++stats_.hits;
+      if (frame_prefetched_[it->second] != 0) {
+        frame_prefetched_[it->second] = 0;
+        ++stats_.prefetch_used;
+      }
+      if (access_buffer_ == nullptr) policy_->RecordAccess(p, type);
+      if (page.pin_count_ == 0) policy_->SetEvictable(p, false);
+      ++page.pin_count_;
+      if (type == AccessType::kWrite) page.dirty_ = true;
+      std::vector<PageId> targets;
+      bool flusher_due = false;
+      if (io_ != nullptr) {
+        CollectBackgroundWorkLocked(p, &targets, &flusher_due);
+      }
       guard.unlock();
-      if (!access_buffer_->TryPush({p, /*process=*/0, type})) {
-        // The stripe is full: drain under the latch and apply this
-        // (newest) reference directly, preserving FIFO order.
-        guard.lock();
-        DrainAccessBufferLocked();
-        policy_->RecordAccess(p, type);
+      if (access_buffer_ != nullptr) {
+        // Batched hit path: publish the reference outside the latch. The
+        // pin taken above keeps the page resident (and un-evictable) until
+        // the record is drained, so a deferred RecordAccess can never land
+        // on a non-resident page.
+        if (!access_buffer_->TryPush({p, /*process=*/0, type})) {
+          // The stripe is full: drain under the latch and apply this
+          // (newest) reference directly, preserving FIFO order.
+          guard.lock();
+          DrainAccessBufferLocked();
+          policy_->RecordAccess(p, type);
+          guard.unlock();
+        }
+      }
+      LaunchBackgroundWork(targets, flusher_due);
+      return &page;
+    }
+    // The per-page request tracker: a read of p already in flight (another
+    // thread's miss, or a prefetch) absorbs this miss — wait for it
+    // instead of issuing a second physical read.
+    if (io_ != nullptr) {
+      auto pending = pending_reads_.find(p);
+      if (pending != pending_reads_.end()) {
+        if (!counted) {
+          ++stats_.misses;
+          ++stats_.coalesced_reads;
+          counted = true;
+        }
+        std::shared_ptr<PendingIo> entry = pending->second;
+        entry->cv.wait(guard, [&] { return entry->done; });
+        if (!entry->status.ok() && !entry->retry_as_primary) {
+          // The coalesced read failed: every waiter reports the same
+          // status the primary saw (the failure was counted once, by the
+          // primary).
+          return entry->status;
+        }
+        // Success: the page should be resident now (re-loop to the hit
+        // branch). An abandoned prefetch (retry_as_primary) or an
+        // admission already evicted again falls through to a fresh
+        // primary miss instead.
+        continue;
       }
     }
-    return &page;
+    break;
   }
 
-  ++stats_.misses;
+  if (!counted) ++stats_.misses;
   // Deferred references precede this fault in the reference string; apply
   // them before the policy sees the admission (and before any eviction
   // decision, which must act on a fully drained view).
@@ -127,7 +381,28 @@ Result<Page*> BufferPool::FetchPage(PageId p, AccessType type) {
   auto frame = AcquireFrame();
   if (!frame.ok()) return frame.status();
   Page& page = frames_[*frame];
-  Status read = DiskRead(p, page.Data());
+  Status read;
+  if (io_ != nullptr) {
+    // Register in the tracker, release the latch, and run the read through
+    // the dispatcher: concurrent misses on p coalesce onto this entry, and
+    // the rest of the pool stays serviceable during the I/O. The frame is
+    // reserved (neither free nor mapped), so nothing else can claim it.
+    auto entry = std::make_shared<PendingIo>();
+    pending_reads_.emplace(p, entry);
+    RetryOutcome outcome;
+    guard.unlock();
+    io_->Run([&] {
+      outcome = RetryWithBackoff(
+          options_.io_retry, [&] { return disk_->ReadPage(p, page.Data()); });
+    });
+    guard.lock();
+    stats_.retries += outcome.retries;
+    if (!outcome.status.ok()) ++stats_.read_failures;
+    read = outcome.status;
+    FinishPendingLocked(p, entry, read);
+  } else {
+    read = DiskRead(p, page.Data());
+  }
   if (!read.ok()) {
     // The page was never admitted: the policy has no entry for p, the
     // page table is untouched, and the frame (legitimately freed by a
@@ -139,13 +414,19 @@ Result<Page*> BufferPool::FetchPage(PageId p, AccessType type) {
   page.pin_count_ = 1;
   page.dirty_ = type == AccessType::kWrite;
   page_table_.emplace(p, *frame);
+  frame_prefetched_[*frame] = 0;
   policy_->Admit(p, type);
   policy_->SetEvictable(p, false);
+  std::vector<PageId> targets;
+  bool flusher_due = false;
+  if (io_ != nullptr) CollectBackgroundWorkLocked(p, &targets, &flusher_due);
+  guard.unlock();
+  LaunchBackgroundWork(targets, flusher_due);
   return &page;
 }
 
 Result<Page*> BufferPool::NewPage() {
-  std::lock_guard<std::mutex> guard(latch_);
+  std::unique_lock<std::mutex> guard(latch_);
   auto allocated = disk_->AllocatePage();
   if (!allocated.ok()) return allocated.status();
   PageId p = *allocated;
@@ -155,15 +436,24 @@ Result<Page*> BufferPool::NewPage() {
 }
 
 Result<Page*> BufferPool::AdmitNewPage(PageId p) {
-  std::lock_guard<std::mutex> guard(latch_);
+  std::unique_lock<std::mutex> guard(latch_);
+  auto page = AdmitNewPageLocked(p);
+  return page;
+}
+
+Result<Page*> BufferPool::AdmitNewPageLocked(PageId p) {
+  // A reallocated id can have a stale prefetch in flight (the readahead
+  // window ran past a page another thread deleted); wait it out so the
+  // admission cannot race the prefetch's own admission of p.
+  {
+    std::unique_lock<std::mutex> reacquired(latch_, std::adopt_lock);
+    FencePageLocked(reacquired, p);
+    reacquired.release();  // The caller's guard still owns the latch.
+  }
   if (page_table_.contains(p)) {
     return Status::AlreadyExists("admit of resident page " +
                                  std::to_string(p));
   }
-  return AdmitNewPageLocked(p);
-}
-
-Result<Page*> BufferPool::AdmitNewPageLocked(PageId p) {
   DrainAccessBufferLocked();  // As on the miss path: admit/evict on a
                               // fully drained view.
   policy_->PrepareAdmit(p);
@@ -175,6 +465,7 @@ Result<Page*> BufferPool::AdmitNewPageLocked(PageId p) {
   page.pin_count_ = 1;
   page.dirty_ = true;  // Must reach disk at least once.
   page_table_.emplace(p, *frame);
+  frame_prefetched_[*frame] = 0;
   policy_->Admit(p, AccessType::kWrite);
   policy_->SetEvictable(p, false);
   return &page;
@@ -198,7 +489,8 @@ Status BufferPool::UnpinPage(PageId p, bool dirty) {
 }
 
 Status BufferPool::FlushPage(PageId p) {
-  std::lock_guard<std::mutex> guard(latch_);
+  std::unique_lock<std::mutex> guard(latch_);
+  FencePageLocked(guard, p);  // A read in flight may be admitting p.
   DrainAccessBufferLocked();
   auto it = page_table_.find(p);
   if (it == page_table_.end()) {
@@ -213,7 +505,11 @@ Status BufferPool::FlushPage(PageId p) {
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> guard(latch_);
+  std::unique_lock<std::mutex> guard(latch_);
+  // Drain the dispatcher first: in-flight reads are landing in frame
+  // buffers and queued background work may still dirty the picture; after
+  // the quiesce this call sees a settled pool.
+  QuiesceLocked(guard);
   // Also the teardown drain: the destructor flushes, so no reference is
   // ever lost to a dropped buffer.
   DrainAccessBufferLocked();
@@ -235,7 +531,12 @@ Status BufferPool::FlushAll() {
 }
 
 Status BufferPool::DeletePage(PageId p) {
-  std::lock_guard<std::mutex> guard(latch_);
+  std::unique_lock<std::mutex> guard(latch_);
+  // Fence in-flight reads of p: a prefetch that already left the queue
+  // must finish (and admit its page) before the delete dismantles it —
+  // otherwise its completion would resurrect a page the disk no longer
+  // holds. No new read of p can start while we hold the latch.
+  FencePageLocked(guard, p);
   // Any buffered reference to p must reach the policy before Remove()
   // forgets the page (a post-Remove RecordAccess would fault). A record
   // not yet visible here implies its producer still pins p, in which case
@@ -253,6 +554,7 @@ Status BufferPool::DeletePage(PageId p) {
     Page& page = frames_[it->second];
     policy_->Remove(p);
     free_frames_.push_back(it->second);
+    frame_prefetched_[it->second] = 0;
     page.id_ = kInvalidPageId;
     page.dirty_ = false;
     page_table_.erase(it);

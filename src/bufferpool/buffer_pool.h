@@ -25,6 +25,7 @@
 #ifndef LRUK_BUFFERPOOL_BUFFER_POOL_H_
 #define LRUK_BUFFERPOOL_BUFFER_POOL_H_
 
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -34,6 +35,8 @@
 #include "bufferpool/pool_interface.h"
 #include "core/access_buffer.h"
 #include "core/replacement_policy.h"
+#include "io/io_dispatcher.h"
+#include "io/readahead.h"
 #include "storage/disk_manager.h"
 #include "util/retry.h"
 #include "util/status.h"
@@ -64,14 +67,50 @@ struct BufferPoolOptions {
   // see util/retry.h. The retry runs under the pool latch — size the
   // backoff accordingly (or leave `sleep` null for immediate re-issue).
   RetryOptions io_retry;
+
+  // --- Async I/O dispatcher (DESIGN.md "Async I/O dispatcher") ---
+  // Master switch: miss reads execute through an IoDispatcher with the
+  // pool latch released and a per-page request tracker coalescing
+  // concurrent misses on the same page into one physical read. Off (the
+  // default) keeps today's direct path, byte-for-byte.
+  bool io_dispatcher = false;
+  // Dispatcher worker threads. 0 = inline mode: every request executes
+  // synchronously on the issuing thread, in issue order — single-threaded
+  // behaviour (pages, victims, stats, fault replay) is identical to the
+  // direct path. > 0: miss reads run on workers, prefetches and flusher
+  // passes run in the background.
+  size_t io_workers = 0;
+  // Bounded dispatcher queue depth (worker mode): miss reads block while
+  // it is full, background work is dropped instead.
+  size_t io_queue_depth = 64;
+  // Background flusher: every `flusher_every_ops` fetches, a pass peeks
+  // the policy's next `flusher_batch` victims (Evict + exact Restore) and
+  // writes the dirty ones back, so eviction write-back rarely lands on the
+  // miss path. Requires io_dispatcher; with io_workers == 0 the pass runs
+  // synchronously at the trigger point (deterministic).
+  bool flusher = false;
+  size_t flusher_every_ops = 64;
+  size_t flusher_batch = 8;
+  // Scan readahead: a stride detector observes the fetch stream and
+  // prefetches the next `readahead.window` pages of a detected sequential
+  // run (the Example 1.2 scan shape). Requires io_dispatcher; inline mode
+  // prefetches synchronously (deterministic), worker mode streams them in
+  // the background. ShardedBufferPool runs one detector above the shards
+  // (hash routing destroys per-shard sequentiality).
+  ReadaheadOptions readahead;
 };
 
 class BufferPool final : public PoolInterface {
  public:
-  // `disk` must outlive the pool. The pool owns the policy.
+  // `disk` must outlive the pool. The pool owns the policy. When
+  // `options.io_dispatcher` is set, the pool routes its miss I/O through
+  // `shared_dispatcher` if given (it must outlive the pool — this is how
+  // ShardedBufferPool gives every shard one worker fleet), else through a
+  // private dispatcher built from options.io_workers/io_queue_depth.
   BufferPool(size_t capacity, DiskManager* disk,
              std::unique_ptr<ReplacementPolicy> policy,
-             BufferPoolOptions options = {});
+             BufferPoolOptions options = {},
+             IoDispatcher* shared_dispatcher = nullptr);
   ~BufferPool() override;
 
   Result<Page*> FetchPage(PageId p,
@@ -121,7 +160,53 @@ class BufferPool final : public PoolInterface {
     return access_buffer_ ? access_buffer_->stats() : AccessBufferStats{};
   }
 
+  // --- Async I/O dispatcher surface (no-ops unless io_dispatcher) ---
+
+  // The dispatcher this pool submits through (null when disabled).
+  IoDispatcher* io_dispatcher() { return io_; }
+  // Requests a background prefetch of `p`: registered in the per-page
+  // tracker (so demand fetches coalesce onto it), admitted unpinned and
+  // clean on completion. A no-op if `p` is resident or already in flight;
+  // silently dropped (prefetch_dropped) if the dispatcher queue is full,
+  // no frame is evictable, or the read fails. Used by the readahead paths;
+  // public so callers with workload foreknowledge can warm the pool.
+  void RequestPrefetch(PageId p);
+  // One flusher pass now, on the calling thread: peeks the policy's next
+  // flusher_batch victims via Evict + Restore and writes back the dirty
+  // ones (background_cleans). Public for tests and manual scheduling; the
+  // flusher trigger calls it every flusher_every_ops fetches.
+  void RunFlusherPass();
+  // Blocks until every in-flight dispatcher request targeting this pool
+  // (miss reads, prefetches, scheduled flusher passes) has completed.
+  // FlushAll fences through this; DeletePage fences per page. Trivial in
+  // inline mode (nothing outlives its issuing call).
+  void Quiesce();
+  // In-flight tracked reads (misses + prefetches); 0 after Quiesce().
+  size_t PendingIoCount() const {
+    std::lock_guard<std::mutex> guard(latch_);
+    return pending_reads_.size();
+  }
+  // Frames on the free list (capacity == resident + pending + free).
+  size_t FreeFrameCount() const {
+    std::lock_guard<std::mutex> guard(latch_);
+    return free_frames_.size();
+  }
+
  private:
+  // One tracked in-flight read (a miss or a prefetch). Waiters sleep on
+  // `cv` with the pool latch; the issuer marks `done`, sets `status`,
+  // erases the map entry and notifies. Waiters hold the shared_ptr, so
+  // the record outlives the erase.
+  struct PendingIo {
+    Status status;
+    bool done = false;
+    // Set when a prefetch is abandoned (queue full, no frame, failed
+    // read): coalesced demand waiters must not inherit the failure — they
+    // re-loop and issue their own primary read instead.
+    bool retry_as_primary = false;
+    std::condition_variable cv;
+  };
+
   // Disk I/O under options_.io_retry, with the pool's failure/retry
   // accounting. Caller holds the latch.
   Status DiskRead(PageId p, char* out);
@@ -138,6 +223,31 @@ class BufferPool final : public PoolInterface {
   // the mutation happens through the shallow-const member pointers.
   void DrainAccessBufferLocked() const;
 
+  // --- Dispatcher internals (io_ != nullptr only) ---
+  // Completes a tracked read: publishes status, erases the tracker entry,
+  // wakes coalesced waiters and Quiesce. Caller holds the latch.
+  void FinishPendingLocked(PageId p, const std::shared_ptr<PendingIo>& entry,
+                           Status status);
+  // Blocks until no read of `p` is in flight (DeletePage's fence). Caller
+  // holds `guard`.
+  void FencePageLocked(std::unique_lock<std::mutex>& guard, PageId p);
+  // Quiesce body; caller holds `guard`.
+  void QuiesceLocked(std::unique_lock<std::mutex>& guard);
+  // Registers a prefetch of `p` in the tracker if it is neither resident
+  // nor in flight; returns whether registered. Caller holds the latch.
+  bool RegisterPrefetchLocked(PageId p);
+  // Executes one registered prefetch (on a worker, or inline).
+  void ExecutePrefetch(PageId p);
+  // Posts registered prefetches + a due flusher pass. Caller must NOT
+  // hold the latch (inline mode runs them synchronously right here).
+  void LaunchBackgroundWork(const std::vector<PageId>& prefetches,
+                            bool flusher_due);
+  // Readahead bookkeeping on the fetch path: observes `p`, collects and
+  // registers prefetch targets into `targets`, and decides whether a
+  // flusher pass is due. Caller holds the latch.
+  void CollectBackgroundWorkLocked(PageId p, std::vector<PageId>* targets,
+                                   bool* flusher_due);
+
   mutable std::mutex latch_;
   size_t capacity_;
   DiskManager* disk_;
@@ -145,9 +255,28 @@ class BufferPool final : public PoolInterface {
   BufferPoolOptions options_;
   // Present iff options_.batch_capacity > 0.
   std::unique_ptr<AccessBuffer> access_buffer_;
+  // Owned dispatcher (private to this pool); io_ points here or at the
+  // shared one passed in. Null iff options_.io_dispatcher is false.
+  std::unique_ptr<IoDispatcher> owned_io_;
+  IoDispatcher* io_ = nullptr;
+  // Present iff readahead is enabled on a non-sharded pool.
+  std::unique_ptr<ReadaheadDetector> readahead_;
+  // Scratch for ReadaheadDetector::Observe (latch-guarded, reused to
+  // avoid a per-fetch allocation).
+  std::vector<PageId> readahead_scratch_;
   std::vector<Page> frames_;
   std::vector<FrameId> free_frames_;
+  // Per-frame "prefetched and not yet demand-referenced" flag, feeding
+  // prefetch_used.
+  std::vector<uint8_t> frame_prefetched_;
   std::unordered_map<PageId, FrameId> page_table_;
+  // The per-page request tracker: at most one in-flight read per page.
+  std::unordered_map<PageId, std::shared_ptr<PendingIo>> pending_reads_;
+  // Background work items (prefetches + scheduled flusher passes) issued
+  // but not finished; Quiesce waits for 0 alongside pending_reads_.
+  uint64_t inflight_background_ = 0;
+  std::condition_variable quiesce_cv_;
+  uint64_t ops_since_flusher_ = 0;
   BufferPoolStats stats_;
 };
 

@@ -26,6 +26,19 @@ namespace lruk {
 // `read_failures`/`write_failures` count pool-issued disk ops that failed
 // after exhausting any configured retries; `retries` counts the re-issues
 // spent by BufferPoolOptions::io_retry (0 when retries are off).
+//
+// Dispatcher counters (all zero unless BufferPoolOptions::io_dispatcher is
+// on — see DESIGN.md "Async I/O dispatcher"): a fetch that finds its page's
+// read already in flight counts one miss AND one `coalesced_read` (it
+// waited on the existing read instead of issuing its own, so physical
+// reads == misses - coalesced_reads - prefetch hits). `prefetch_issued`
+// counts readahead requests registered; `prefetch_used` counts hits that
+// landed on a prefetched frame before any demand reference touched it;
+// `prefetch_dropped` counts prefetches abandoned (full dispatcher queue,
+// no evictable frame, or a failed read — never an error surfaced to
+// callers). `background_cleans` counts flusher write-backs that cleaned a
+// dirty page ahead of eviction (they are not `dirty_writebacks`, which
+// stay eviction-time only).
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -34,6 +47,11 @@ struct BufferPoolStats {
   uint64_t read_failures = 0;
   uint64_t write_failures = 0;
   uint64_t retries = 0;
+  uint64_t coalesced_reads = 0;
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_used = 0;
+  uint64_t prefetch_dropped = 0;
+  uint64_t background_cleans = 0;
 
   double HitRatio() const {
     uint64_t total = hits + misses;
@@ -49,6 +67,11 @@ struct BufferPoolStats {
     read_failures += other.read_failures;
     write_failures += other.write_failures;
     retries += other.retries;
+    coalesced_reads += other.coalesced_reads;
+    prefetch_issued += other.prefetch_issued;
+    prefetch_used += other.prefetch_used;
+    prefetch_dropped += other.prefetch_dropped;
+    background_cleans += other.background_cleans;
     return *this;
   }
 };

@@ -20,6 +20,22 @@ ShardedBufferPool::ShardedBufferPool(size_t capacity, size_t num_shards,
   LRUK_ASSERT(disk_ != nullptr, "sharded pool needs a disk manager");
   LRUK_ASSERT(factory != nullptr, "sharded pool needs a policy factory");
 
+  if (shard_options.io_dispatcher) {
+    // One dispatcher (one worker fleet, one bounded queue) serves every
+    // shard; the shards receive it as a shared dispatcher instead of each
+    // spinning up its own.
+    io_ = std::make_unique<IoDispatcher>(IoDispatcherOptions{
+        shard_options.io_workers, shard_options.io_queue_depth});
+    if (shard_options.readahead.enabled) {
+      readahead_ =
+          std::make_unique<ReadaheadDetector>(shard_options.readahead);
+    }
+  }
+  // The scan detector (if any) lives at the pool level: shard-local fetch
+  // streams are hash-interleaved and would never show a stride run.
+  BufferPoolOptions per_shard = shard_options;
+  per_shard.readahead.enabled = false;
+
   // Distribute frames as evenly as possible: the first capacity % N
   // shards absorb the remainder.
   size_t base = capacity_ / num_shards;
@@ -30,12 +46,32 @@ ShardedBufferPool::ShardedBufferPool(size_t capacity, size_t num_shards,
     auto policy = factory(i, shard_capacity);
     LRUK_ASSERT(policy != nullptr, "shard policy factory returned null");
     shards_.push_back(std::make_unique<BufferPool>(
-        shard_capacity, disk_, std::move(policy), shard_options));
+        shard_capacity, disk_, std::move(policy), per_shard, io_.get()));
   }
 }
 
 Result<Page*> ShardedBufferPool::FetchPage(PageId p, AccessType type) {
-  return shards_[ShardOf(p)]->FetchPage(p, type);
+  auto page = shards_[ShardOf(p)]->FetchPage(p, type);
+  if (readahead_ != nullptr && page.ok()) {
+    // Observe the pool-level fetch stream and fan the prefetch targets
+    // out to their owning shards (each dedups against its own residents
+    // and in-flight tracker).
+    std::vector<PageId> targets;
+    {
+      std::lock_guard<std::mutex> guard(readahead_latch_);
+      readahead_->Observe(p, &targets);
+    }
+    for (PageId q : targets) shards_[ShardOf(q)]->RequestPrefetch(q);
+  }
+  return page;
+}
+
+void ShardedBufferPool::RequestPrefetch(PageId p) {
+  shards_[ShardOf(p)]->RequestPrefetch(p);
+}
+
+void ShardedBufferPool::Quiesce() {
+  for (auto& shard : shards_) shard->Quiesce();
 }
 
 Result<Page*> ShardedBufferPool::NewPage() {

@@ -107,6 +107,17 @@ class ShardedBufferPool final : public PoolInterface {
 
   DiskManager& disk() { return *disk_; }
 
+  // --- Async I/O dispatcher surface (no-ops unless shard_options
+  //     .io_dispatcher; see DESIGN.md "Async I/O dispatcher") ---
+
+  // The dispatcher every shard submits through (one worker fleet for the
+  // whole pool); null when disabled.
+  IoDispatcher* io_dispatcher() { return io_.get(); }
+  // Background prefetch of `p`, routed to its owning shard.
+  void RequestPrefetch(PageId p);
+  // Blocks until every shard's in-flight dispatcher work has completed.
+  void Quiesce();
+
  private:
   // SplitMix64 finalizer: page ids are typically dense small integers, so
   // route through a strong mix to spread them uniformly across shards
@@ -129,6 +140,15 @@ class ShardedBufferPool final : public PoolInterface {
   // yet (guarded by alloc_latch_). DeletePage refuses these: a stale
   // delete of a reused id must not free the disk page mid-admission.
   std::unordered_set<PageId> pending_admits_;
+  // One dispatcher shared by all shards (declared before shards_ so the
+  // shards — which quiesce through it in their destructors — are torn
+  // down while it is still alive).
+  std::unique_ptr<IoDispatcher> io_;
+  // Pool-level scan detector: hash routing destroys per-shard
+  // sequentiality, so the shards' own detectors stay off and the fetch
+  // stream is observed here, before routing. Guarded by readahead_latch_.
+  std::mutex readahead_latch_;
+  std::unique_ptr<ReadaheadDetector> readahead_;
   std::vector<std::unique_ptr<BufferPool>> shards_;
 };
 

@@ -1,0 +1,121 @@
+#include "io/io_dispatcher.h"
+
+#include <utility>
+
+namespace lruk {
+
+// Stack-allocated completion signal for Run(): the submitting thread waits
+// on it, the executing worker fires it. Lives in the submitter's frame, so
+// the worker must touch it only before signalling.
+struct IoDispatcher::Completion {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+};
+
+IoDispatcher::IoDispatcher(IoDispatcherOptions options) : options_(options) {
+  LRUK_ASSERT(options_.workers == 0 || options_.queue_depth >= 1,
+              "worker-mode dispatcher needs a queue");
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+IoDispatcher::~IoDispatcher() {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  // Workers drain the queue before exiting, so nothing accepted is lost.
+  LRUK_ASSERT(queue_.empty(), "dispatcher destroyed with queued work");
+}
+
+void IoDispatcher::WorkerLoop() {
+  std::unique_lock<std::mutex> guard(mutex_);
+  for (;;) {
+    work_cv_.wait(guard, [&] { return !queue_.empty() || stopping_; });
+    if (queue_.empty()) return;  // stopping_ and fully drained.
+    Item item = std::move(queue_.front());
+    queue_.pop_front();
+    ++executing_;
+    ++stats_.executed_async;
+    space_cv_.notify_one();
+    guard.unlock();
+    item.fn();
+    if (item.completion != nullptr) {
+      std::lock_guard<std::mutex> signal(item.completion->m);
+      item.completion->done = true;
+      item.completion->cv.notify_all();
+    }
+    guard.lock();
+    --executing_;
+    if (queue_.empty() && executing_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void IoDispatcher::Run(std::function<void()> fn) {
+  if (inline_mode()) {
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      ++stats_.submitted;
+      ++stats_.executed_inline;
+    }
+    fn();
+    return;
+  }
+  Completion completion;
+  {
+    std::unique_lock<std::mutex> guard(mutex_);
+    ++stats_.submitted;
+    space_cv_.wait(guard,
+                   [&] { return queue_.size() < options_.queue_depth; });
+    queue_.push_back(Item{std::move(fn), &completion});
+    if (queue_.size() > stats_.queue_highwater) {
+      stats_.queue_highwater = queue_.size();
+    }
+  }
+  work_cv_.notify_one();
+  std::unique_lock<std::mutex> wait(completion.m);
+  completion.cv.wait(wait, [&] { return completion.done; });
+}
+
+bool IoDispatcher::TryPost(std::function<void()> fn) {
+  if (inline_mode()) {
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      ++stats_.posted;
+      ++stats_.executed_inline;
+    }
+    fn();
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (queue_.size() >= options_.queue_depth) {
+      ++stats_.rejected;
+      return false;
+    }
+    ++stats_.posted;
+    queue_.push_back(Item{std::move(fn), nullptr});
+    if (queue_.size() > stats_.queue_highwater) {
+      stats_.queue_highwater = queue_.size();
+    }
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void IoDispatcher::Drain() {
+  std::unique_lock<std::mutex> guard(mutex_);
+  idle_cv_.wait(guard, [&] { return queue_.empty() && executing_ == 0; });
+}
+
+IoDispatcherStats IoDispatcher::stats() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return stats_;
+}
+
+}  // namespace lruk

@@ -1,0 +1,120 @@
+// The asynchronous I/O dispatcher: a bounded blocking work queue served by
+// N worker threads, sitting between the buffer pools and any DiskManager.
+//
+// Two lanes:
+//
+//  * Run(fn)     — the foreground lane. The caller needs the result before
+//    it can proceed (a miss read), so Run executes `fn` through the
+//    dispatcher and returns only once it has run: on the calling thread in
+//    inline mode, or on a worker after queueing (blocking while the queue
+//    is full) in worker mode.
+//  * TryPost(fn) — the background lane. The work is optional (a readahead
+//    prefetch, a flusher pass): in worker mode it is enqueued without
+//    blocking and rejected when the queue is full — background work must
+//    never stall a foreground miss; in inline mode it runs immediately on
+//    the calling thread.
+//
+// Inline mode (workers == 0) is the determinism contract: every request
+// executes synchronously on the thread that issued it, in issue order, so
+// a single-threaded caller drives the disk through the dispatcher in
+// exactly the same op sequence as calling the disk directly. This is what
+// keeps the PR 4 replay story intact — a (seed, fault-schedule) pair
+// reproduces byte-identical traces with the dispatcher on.
+//
+// The dispatcher runs closures, not typed requests, on purpose: the
+// per-page request tracker that coalesces concurrent misses needs the
+// pool's page table and latch, so it lives in BufferPool (DESIGN.md
+// "Async I/O dispatcher"); the dispatcher supplies the threads, the
+// bounded queue, and the completion signalling.
+//
+// Thread safety: all public methods are safe to call concurrently.
+// Restriction: a closure running on a worker must not call Run or TryPost
+// on the same dispatcher (with one worker, Run would wait on a queue only
+// itself could drain). The pools respect this: only foreground paths
+// submit.
+
+#ifndef LRUK_IO_IO_DISPATCHER_H_
+#define LRUK_IO_IO_DISPATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace lruk {
+
+struct IoDispatcherOptions {
+  // Worker threads serving the queue. 0 = inline mode: no threads, no
+  // queue, every submission executes synchronously on the caller.
+  size_t workers = 0;
+  // Bounded queue capacity (worker mode). Run() blocks while the queue is
+  // full; TryPost() is rejected instead.
+  size_t queue_depth = 64;
+};
+
+// Cumulative dispatcher counters. `queue_highwater` is the deepest the
+// queue has been; `rejected` counts TryPost calls refused by a full queue.
+struct IoDispatcherStats {
+  uint64_t submitted = 0;        // Run() calls.
+  uint64_t posted = 0;           // TryPost() calls accepted.
+  uint64_t rejected = 0;         // TryPost() calls refused (queue full).
+  uint64_t executed_inline = 0;  // Closures run on the submitting thread.
+  uint64_t executed_async = 0;   // Closures run on a worker.
+  uint64_t queue_highwater = 0;
+};
+
+class IoDispatcher {
+ public:
+  explicit IoDispatcher(IoDispatcherOptions options = {});
+  // Drains the queue (workers finish every accepted item) and joins.
+  ~IoDispatcher();
+  LRUK_DISALLOW_COPY_AND_MOVE(IoDispatcher);
+
+  bool inline_mode() const { return options_.workers == 0; }
+  const IoDispatcherOptions& options() const { return options_; }
+
+  // Foreground lane: executes `fn` through the dispatcher, returning once
+  // it has run. Never rejected; blocks while the queue is full.
+  void Run(std::function<void()> fn);
+
+  // Background lane: fire-and-forget. Returns false (and does not run
+  // `fn`) when the worker queue is full. Inline mode always runs and
+  // returns true.
+  bool TryPost(std::function<void()> fn);
+
+  // Blocks until every accepted item has finished executing. New
+  // submissions during the wait extend it.
+  void Drain();
+
+  IoDispatcherStats stats() const;
+
+ private:
+  struct Completion;  // Stack-allocated Run() completion signal (in .cc).
+  struct Item {
+    std::function<void()> fn;
+    // Completion signal for Run(); null for TryPost items.
+    Completion* completion = nullptr;
+  };
+
+  void WorkerLoop();
+
+  IoDispatcherOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;   // Queue became non-empty / stopping.
+  std::condition_variable space_cv_;  // Queue lost an item (Run backpressure).
+  std::condition_variable idle_cv_;   // Queue empty and workers idle (Drain).
+  std::deque<Item> queue_;
+  size_t executing_ = 0;  // Items currently running on workers.
+  bool stopping_ = false;
+  IoDispatcherStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lruk
+
+#endif  // LRUK_IO_IO_DISPATCHER_H_

@@ -1,0 +1,469 @@
+// Threaded half of the async I/O dispatcher battery (the deterministic
+// half lives in async_io_test.cc). Runs under TSan/ASan in CI's sanitizer
+// matrix (test names match the 'AsyncIo' ctest regex).
+//
+// Coverage:
+//  * Request coalescing — 8 threads missing on the same page while its
+//    read is parked behind a gate produce exactly ONE physical read; every
+//    waiter gets the same pinned page, stats account one primary miss plus
+//    seven coalesced ones.
+//  * Coalesced failure — the same setup with an injected read fault: every
+//    waiter observes the same error status, no frame is leaked, nothing is
+//    admitted, and the page is fetchable after Heal().
+//  * Concurrency + fault churn — 8 threads of mixed traffic over both
+//    pools with probabilistic read/write faults, flusher and readahead on:
+//    after Heal + quiesce, frame accounting balances to capacity, every
+//    fetch resolved to exactly one hit or miss, all pins were released,
+//    and FlushAll converges.
+//  * Same-page churn — a page-id range smaller than the thread count over
+//    a tiny pool forces constant coalesce/evict cycles without deadlock.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bufferpool/buffer_pool.h"
+#include "bufferpool/sharded_buffer_pool.h"
+#include "core/lru_k.h"
+#include "gtest/gtest.h"
+#include "storage/fault_injecting_disk_manager.h"
+#include "storage/sim_disk_manager.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace lruk {
+namespace {
+
+// Forwarding disk manager counting physical reads per page — the witness
+// for "one coalesced group, one physical read". Outermost wrapper, so it
+// sees exactly what the pool issued (including retry re-issues).
+class CountingDiskManager final : public DiskManager {
+ public:
+  explicit CountingDiskManager(DiskManager* inner) : inner_(inner) {}
+
+  uint64_t ReadsOf(PageId p) const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = reads_.find(p);
+    return it == reads_.end() ? 0 : it->second;
+  }
+  uint64_t TotalReads() const {
+    std::lock_guard<std::mutex> guard(mutex_);
+    uint64_t total = 0;
+    for (const auto& [p, n] : reads_) total += n;
+    return total;
+  }
+
+  Status ReadPage(PageId p, char* out) override {
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      ++reads_[p];
+    }
+    return inner_->ReadPage(p, out);
+  }
+  Status WritePage(PageId p, const char* data) override {
+    return inner_->WritePage(p, data);
+  }
+  Result<PageId> AllocatePage() override { return inner_->AllocatePage(); }
+  Status DeallocatePage(PageId p) override {
+    return inner_->DeallocatePage(p);
+  }
+  uint64_t NumAllocatedPages() const override {
+    return inner_->NumAllocatedPages();
+  }
+  IoStats stats() const override { return inner_->stats(); }
+  void ResetStats() override { inner_->ResetStats(); }
+
+ private:
+  DiskManager* inner_;
+  mutable std::mutex mutex_;
+  std::unordered_map<PageId, uint64_t> reads_;
+};
+
+// Blocks reads of one chosen page until released (same shape as the gate
+// in async_io_test.cc; duplicated to keep the test binaries standalone).
+class GateDiskManager final : public DiskManager {
+ public:
+  explicit GateDiskManager(DiskManager* inner) : inner_(inner) {}
+
+  void Close(PageId p) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    gated_ = p;
+    open_ = false;
+  }
+  void Open() {
+    std::lock_guard<std::mutex> guard(mutex_);
+    open_ = true;
+    cv_.notify_all();
+  }
+  void AwaitReader() {
+    std::unique_lock<std::mutex> guard(mutex_);
+    cv_.wait(guard, [&] { return waiting_ > 0; });
+  }
+
+  Status ReadPage(PageId p, char* out) override {
+    {
+      std::unique_lock<std::mutex> guard(mutex_);
+      if (!open_ && p == gated_) {
+        ++waiting_;
+        cv_.notify_all();
+        cv_.wait(guard, [&] { return open_; });
+        --waiting_;
+      }
+    }
+    return inner_->ReadPage(p, out);
+  }
+  Status WritePage(PageId p, const char* data) override {
+    return inner_->WritePage(p, data);
+  }
+  Result<PageId> AllocatePage() override { return inner_->AllocatePage(); }
+  Status DeallocatePage(PageId p) override {
+    return inner_->DeallocatePage(p);
+  }
+  uint64_t NumAllocatedPages() const override {
+    return inner_->NumAllocatedPages();
+  }
+  IoStats stats() const override { return inner_->stats(); }
+  void ResetStats() override { inner_->ResetStats(); }
+
+ private:
+  DiskManager* inner_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  PageId gated_ = kInvalidPageId;
+  bool open_ = true;
+  int waiting_ = 0;
+};
+
+std::vector<PageId> AllocateDb(PoolInterface& pool, uint64_t n) {
+  std::vector<PageId> pages;
+  for (uint64_t i = 0; i < n; ++i) {
+    auto page = pool.NewPage();
+    EXPECT_TRUE(page.ok());
+    pages.push_back((*page)->id());
+    EXPECT_TRUE(pool.UnpinPage((*page)->id(), true).ok());
+  }
+  return pages;
+}
+
+constexpr int kThreads = 8;
+
+// ---------------------------------------------------------------------------
+// Coalescing: one physical read per group.
+
+TEST(AsyncIoCoalescingTest, ConcurrentMissesOnSamePageShareOneRead) {
+  SimDiskManager inner;
+  GateDiskManager gate(&inner);
+  CountingDiskManager disk(&gate);
+  BufferPoolOptions options;
+  options.io_dispatcher = true;
+  options.io_workers = 2;
+  BufferPool pool(8, &disk, std::make_unique<LruKPolicy>(LruKOptions{.k = 2}),
+                  options);
+
+  auto target = inner.AllocatePage();
+  ASSERT_TRUE(target.ok());
+  PageId p = *target;
+
+  // Park the primary's read behind the gate; once it is parked, the pool
+  // latch is free and the other 7 threads enqueue as coalesced waiters.
+  gate.Close(p);
+  std::atomic<int> entered{0};
+  std::vector<std::thread> threads;
+  std::atomic<int> ok_count{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      entered.fetch_add(1);
+      auto page = pool.FetchPage(p);
+      ASSERT_TRUE(page.ok());
+      EXPECT_EQ((*page)->id(), p);
+      ok_count.fetch_add(1);
+      EXPECT_TRUE(pool.UnpinPage(p, false).ok());
+    });
+  }
+  gate.AwaitReader();  // The primary is mid-read.
+  // Give the remaining threads time to reach the waiter branch: they need
+  // only the pool latch, which the primary released before reading.
+  while (entered.load() < kThreads) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  gate.Open();
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(ok_count.load(), kThreads);
+  EXPECT_EQ(disk.ReadsOf(p), 1u);  // One physical read for the group.
+  BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.misses, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(stats.coalesced_reads, static_cast<uint64_t>(kThreads - 1));
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(pool.PendingIoCount(), 0u);
+  // Frame accounting balances: one resident page, the rest free.
+  EXPECT_EQ(pool.ResidentCount() + pool.FreeFrameCount(), pool.capacity());
+}
+
+TEST(AsyncIoCoalescingTest, EveryWaiterSeesTheSameFailureAndNoFrameLeaks) {
+  SimDiskManager inner;
+  FaultInjectingDiskManager faulty(&inner, /*seed=*/5);
+  GateDiskManager gate(&faulty);
+  CountingDiskManager disk(&gate);
+  BufferPoolOptions options;
+  options.io_dispatcher = true;
+  options.io_workers = 2;
+  BufferPool pool(8, &disk, std::make_unique<LruKPolicy>(LruKOptions{.k = 2}),
+                  options);
+
+  auto target = inner.AllocatePage();
+  ASSERT_TRUE(target.ok());
+  PageId p = *target;
+  faulty.AddRule(FaultRule::FailPage(FaultOp::kRead, p));  // Permanent.
+
+  gate.Close(p);
+  std::atomic<int> entered{0};
+  std::vector<Status> statuses(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      entered.fetch_add(1);
+      auto page = pool.FetchPage(p);
+      ASSERT_FALSE(page.ok());
+      statuses[t] = page.status();
+    });
+  }
+  gate.AwaitReader();
+  while (entered.load() < kThreads) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  gate.Open();
+  for (auto& t : threads) t.join();
+
+  // Every thread failed with the same status code. (A straggler that
+  // missed the coalescing window would retry as its own primary against
+  // the permanent fault and still observe kIoError.)
+  for (const Status& s : statuses) {
+    EXPECT_EQ(s.code(), StatusCode::kIoError);
+  }
+  // No admission, no leaked frame, no stuck tracker entry.
+  EXPECT_FALSE(pool.IsResident(p));
+  EXPECT_EQ(pool.PendingIoCount(), 0u);
+  EXPECT_EQ(pool.FreeFrameCount(), pool.capacity());
+  BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.misses, static_cast<uint64_t>(kThreads));
+  EXPECT_GE(stats.coalesced_reads, 1u);
+  EXPECT_GE(stats.read_failures, 1u);
+  // Total fetch attempts all resolved: hits + misses == kThreads.
+  EXPECT_EQ(stats.hits + stats.misses, static_cast<uint64_t>(kThreads));
+
+  // The page is fetchable once the fault clears.
+  faulty.Heal();
+  auto page = pool.FetchPage(p);
+  ASSERT_TRUE(page.ok());
+  EXPECT_TRUE(pool.UnpinPage(p, false).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency + fault churn.
+
+struct ChurnTotals {
+  std::atomic<uint64_t> attempts{0};
+  std::atomic<uint64_t> failures{0};
+};
+
+void ChurnThread(PoolInterface& pool, const std::vector<PageId>& pages,
+                 uint64_t seed, int ops, ChurnTotals& totals) {
+  RecursiveSkewDistribution dist(0.8, 0.2, pages.size());
+  RandomEngine rng(seed);
+  for (int i = 0; i < ops; ++i) {
+    PageId p;
+    if (rng.NextBernoulli(0.2)) {
+      // Short sequential stretches keep the readahead path hot.
+      p = pages[(static_cast<size_t>(i) * 3 + seed) % pages.size()];
+    } else {
+      p = pages[dist.Sample(rng) - 1];
+    }
+    bool write = rng.NextBernoulli(0.4);
+    totals.attempts.fetch_add(1, std::memory_order_relaxed);
+    auto page =
+        pool.FetchPage(p, write ? AccessType::kWrite : AccessType::kRead);
+    if (!page.ok()) {
+      totals.failures.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (write) {
+      // Page contents are accessed outside the pool latch; the pin
+      // protocol makes the frame stable but leaves writer/writer
+      // coordination to the caller, so each thread stamps its own
+      // seed-indexed 8-byte slot instead of a shared offset.
+      uint64_t stamp = seed * 1000003 + static_cast<uint64_t>(i);
+      std::memcpy((*page)->Data() + (seed % 64) * sizeof(stamp), &stamp,
+                  sizeof(stamp));
+    }
+    EXPECT_TRUE(pool.UnpinPage(p, write).ok());
+  }
+}
+
+TEST(AsyncIoConcurrencyTest, FaultChurnKeepsPlainPoolInvariants) {
+  SimDiskManager inner;
+  FaultInjectingDiskManager disk(&inner, /*seed=*/31);
+
+  BufferPoolOptions options;
+  options.io_dispatcher = true;
+  options.io_workers = 4;
+  options.io_queue_depth = 32;
+  options.flusher = true;
+  options.flusher_every_ops = 32;
+  options.flusher_batch = 4;
+  options.readahead = {.enabled = true, .window = 4, .min_run = 3};
+  options.batch_capacity = 64;
+  options.batch_stripes = 8;
+
+  BufferPoolStats stats;
+  {
+    BufferPool pool(24, &disk,
+                    std::make_unique<LruKPolicy>(LruKOptions{.k = 2}),
+                    options);
+    std::vector<PageId> pages = AllocateDb(pool, 64);
+    // Arm the faults only once the DB exists (allocation itself must not
+    // fail; the churn tolerates fetch failures).
+    disk.AddRule(FaultRule::FailWithProbability(FaultOp::kRead, 0.03));
+    disk.AddRule(FaultRule::FailWithProbability(FaultOp::kWrite, 0.03));
+    ChurnTotals totals;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        ChurnThread(pool, pages, /*seed=*/100 + t, /*ops=*/3000, totals);
+      });
+    }
+    for (auto& t : threads) t.join();
+
+    disk.Heal();
+    pool.Quiesce();
+    stats = pool.stats();
+    // Every fetch resolved to exactly one hit or one miss.
+    EXPECT_EQ(stats.hits + stats.misses, totals.attempts.load());
+    // A failed fetch is a miss; coalesced waiters of a failed read are
+    // misses too, but only primaries count read_failures.
+    EXPECT_LE(stats.read_failures, totals.failures.load());
+    EXPECT_GE(stats.misses, totals.failures.load());
+
+    // All pins released: every resident page is evictable again.
+    EXPECT_EQ(pool.policy().EvictableCount(), pool.policy().ResidentCount());
+    // Frame accounting balances after quiesce.
+    EXPECT_EQ(pool.ResidentCount() + pool.FreeFrameCount(), pool.capacity());
+    EXPECT_EQ(pool.PendingIoCount(), 0u);
+
+    EXPECT_TRUE(pool.FlushAll().ok());
+  }
+  // Background machinery actually engaged under the churn.
+  EXPECT_GT(stats.background_cleans, 0u);
+  EXPECT_GT(stats.prefetch_issued, 0u);
+}
+
+TEST(AsyncIoConcurrencyTest, FaultChurnKeepsShardedPoolInvariants) {
+  SimDiskManager inner;
+  FaultInjectingDiskManager disk(&inner, /*seed=*/37);
+
+  BufferPoolOptions options;
+  options.io_dispatcher = true;
+  options.io_workers = 4;
+  options.io_queue_depth = 32;
+  options.flusher = true;
+  options.flusher_every_ops = 32;
+  options.flusher_batch = 4;
+  options.readahead = {.enabled = true, .window = 4, .min_run = 3};
+
+  ShardedBufferPool pool(
+      32, /*num_shards=*/4, &disk,
+      [](size_t, size_t) {
+        return std::make_unique<LruKPolicy>(LruKOptions{.k = 2});
+      },
+      options);
+  std::vector<PageId> pages = AllocateDb(pool, 96);
+  disk.AddRule(FaultRule::FailWithProbability(FaultOp::kRead, 0.03));
+  disk.AddRule(FaultRule::FailWithProbability(FaultOp::kWrite, 0.03));
+  ChurnTotals totals;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ChurnThread(pool, pages, /*seed=*/200 + t, /*ops=*/3000, totals);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  disk.Heal();
+  pool.Quiesce();
+  BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits + stats.misses, totals.attempts.load());
+  EXPECT_LE(stats.read_failures, totals.failures.load());
+
+  size_t free_frames = 0;
+  for (size_t i = 0; i < pool.shard_count(); ++i) {
+    BufferPool& shard = pool.shard(i);
+    EXPECT_EQ(shard.policy().EvictableCount(), shard.policy().ResidentCount());
+    EXPECT_EQ(shard.PendingIoCount(), 0u);
+    free_frames += shard.FreeFrameCount();
+  }
+  EXPECT_EQ(pool.ResidentCount() + free_frames, pool.capacity());
+  EXPECT_TRUE(pool.FlushAll().ok());
+}
+
+TEST(AsyncIoConcurrencyTest, SamePageChurnOverTinyPoolCoalescesConstantly) {
+  SimDiskManager inner;
+  CountingDiskManager disk(&inner);
+  BufferPoolOptions options;
+  options.io_dispatcher = true;
+  options.io_workers = 2;
+  options.io_queue_depth = 8;
+  BufferPool pool(2, &disk, std::make_unique<LruKPolicy>(LruKOptions{.k = 2}),
+                  options);
+  std::vector<PageId> pages = AllocateDb(pool, 4);
+  ASSERT_TRUE(pool.FlushAll().ok());
+
+  std::atomic<uint64_t> attempts{0};
+  std::atomic<uint64_t> exhausted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      RandomEngine rng(/*seed=*/300 + t);
+      for (int i = 0; i < 2000; ++i) {
+        PageId p = pages[rng.NextUint64() % pages.size()];
+        attempts.fetch_add(1, std::memory_order_relaxed);
+        auto page = pool.FetchPage(p, AccessType::kRead);
+        if (!page.ok()) {
+          // Capacity 2 with 8 threads: transient RESOURCE_EXHAUSTED (all
+          // frames pinned) is legitimate; nothing else is.
+          EXPECT_EQ(page.status().code(), StatusCode::kResourceExhausted);
+          exhausted.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        EXPECT_TRUE(pool.UnpinPage(p, false).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  pool.Quiesce();
+  BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(pool.PendingIoCount(), 0u);
+  EXPECT_EQ(pool.ResidentCount() + pool.FreeFrameCount(), pool.capacity());
+  EXPECT_EQ(stats.hits + stats.misses, attempts.load());
+  // Read accounting brackets: a fetch issues at most one physical read, so
+  // reads <= misses; and every miss-counted fetch either read, coalesced,
+  // or bounced off a full pool (a fetch can both coalesce and then retry
+  // as a primary, hence >= rather than ==). The exact one-read-per-group
+  // semantics are proven by the gated coalescing tests above.
+  EXPECT_LE(disk.TotalReads(), stats.misses);
+  EXPECT_GE(disk.TotalReads() + stats.coalesced_reads + exhausted.load(),
+            stats.misses);
+  EXPECT_TRUE(pool.FlushAll().ok());
+}
+
+}  // namespace
+}  // namespace lruk
