@@ -1,19 +1,35 @@
-// Contention microbenchmark for batched access recording: multi-threaded
-// Zipfian fetch/unpin throughput swept over thread count x batch capacity,
-// on the single-latch BufferPool (the per-shard microcosm — every hit
-// serializes on one latch, so this isolates what batching buys), plus a
-// 4-shard composition row. LRU-2 policy, hot set mostly resident, ~5%
-// writes: the read-mostly regime the batching targets, where the victim
-// index reposition on every hit is the dominant latch hold.
+// Contention microbenchmark for the hit-path scaling ladder: multi-
+// threaded Zipfian fetch/unpin throughput swept over thread count x batch
+// capacity on the single-latch BufferPool (the per-shard microcosm —
+// every hit serializes on one latch, so this isolates what each rung
+// buys), plus 4-shard composition rows and the latch-free optimistic hit
+// path (BufferPoolOptions::optimistic_hits). LRU-2 policy, hot set mostly
+// resident, ~5% writes: the read-mostly regime batching and the
+// optimistic path both target.
+//
+// Per-cell observability: alongside throughput and the AccessBuffer drain
+// counters, every cell reports the pool's latch_acquires and
+// pin_cas_retries as per-op rates — the direct evidence that the
+// optimistic path removes the latch from warm hits (latch/op drops from
+// ~2 to ~the drain rate) and what the speculative pin CAS costs under
+// contention. A dedicated 8-thread "hot page" cell hammers ONE page —
+// maximal latch contention for the latched pool, maximal pin-CAS traffic
+// for the optimistic one.
 //
 // Shape checks:
 //  * accounting — for every cell, hits + misses must equal the ops issued
-//    exactly (batching defers HIST updates, never hit/miss counting).
+//    exactly (neither batching nor the optimistic path may lose a fetch).
 //  * throughput — at 8 threads, batch_capacity = 64 must reach >= 2x the
-//    batch_capacity = 0 baseline on the single-latch pool. Parallel
-//    contention is unobservable without parallel hardware, so on machines
-//    with fewer than 4 cores the criterion is reported, not enforced
-//    (same convention as micro_sharded_pool).
+//    batch_capacity = 0 baseline on the single-latch pool; the optimistic
+//    pool must reach >= 1x the latched batch-64 pool on the 1-thread
+//    hot-page cell (all hits: the pure per-hit cost must win even with no
+//    contention to remove) and >= 0.9x on the 1-thread Zipfian cell
+//    (~30% of whose ops take the latched miss path either way), and >= 1x
+//    at 8 threads on both workloads. Parallel contention is unobservable
+//    without parallel hardware, so on machines with fewer than 4 cores
+//    the multi-thread criteria are reported, not enforced (same
+//    convention as micro_sharded_pool); the 1-thread criteria are always
+//    enforced.
 //
 // Flags: --json <path> writes machine-readable results (BENCH_*.json
 // trajectory); --quick shrinks the per-cell op count for CI smoke runs.
@@ -42,11 +58,14 @@ namespace {
 
 constexpr size_t kFrames = 512;
 constexpr uint64_t kDbPages = 4096;
+constexpr uint64_t kHotDbPages = 8;
 constexpr double kWriteFraction = 0.05;
 constexpr size_t kStripes = 8;
 
 struct Cell {
   std::string pool;
+  std::string mode = "latched";      // "latched" | "optimistic"
+  std::string workload = "zipfian";  // "zipfian" | "hot_page"
   size_t shards = 1;
   int threads = 1;
   size_t batch_capacity = 0;
@@ -62,22 +81,35 @@ struct Cell {
   uint64_t read_failures = 0;
   uint64_t write_failures = 0;
   uint64_t retries = 0;
+  // Optimistic hit-path counters (all zero in latched mode): how many
+  // hits ran latch-free, how many speculative pins were rolled back, what
+  // the pin CAS cost under contention, and — the headline — how often the
+  // pool latch was taken at all.
+  uint64_t optimistic_hits = 0;
+  uint64_t optimistic_fallbacks = 0;
+  uint64_t pin_cas_retries = 0;
+  uint64_t latch_acquires = 0;
   // AccessBuffer drain counters (all zero when batch_capacity == 0) — the
   // observability behind DESIGN.md's batch-capacity guidance: records per
   // drain shows whether batching amortizes anything or just adds the
   // enqueue hop.
-  AccessBufferStats buffer_stats;
+  AccessBufferStats buffer_stats{};
 };
 
-// Zipfian fetch/unpin churn; every op must succeed (the pool is never
-// pinned full), so ops issued is exact by construction. `Pool` is
+double PerOp(uint64_t count, uint64_t ops) {
+  return ops > 0 ? static_cast<double>(count) / static_cast<double>(ops) : 0;
+}
+
+// Multi-threaded fetch/unpin churn; every op must succeed (the pool is
+// never pinned full), so ops issued is exact by construction. `Pool` is
 // BufferPool or ShardedBufferPool (both expose access_buffer_stats(),
-// which PoolInterface does not).
+// which PoolInterface does not). The hot_page workload hammers pages[0]
+// from every thread; zipfian samples the 80-20 skew.
 template <typename Pool>
-void RunCell(Pool& pool, Cell& cell, uint64_t total_ops) {
+void RunCell(Pool& pool, Cell& cell, uint64_t total_ops, uint64_t db_pages) {
   std::vector<PageId> pages;
-  pages.reserve(kDbPages);
-  for (uint64_t i = 0; i < kDbPages; ++i) {
+  pages.reserve(db_pages);
+  for (uint64_t i = 0; i < db_pages; ++i) {
     auto page = pool.NewPage();
     if (!page.ok()) {
       std::fprintf(stderr, "allocation failed: %s\n",
@@ -92,7 +124,8 @@ void RunCell(Pool& pool, Cell& cell, uint64_t total_ops) {
   // drain numbers cover only the measured churn.
   AccessBufferStats setup_stats = pool.access_buffer_stats();
 
-  RecursiveSkewDistribution dist(0.8, 0.2, kDbPages);
+  bool hot = cell.workload == "hot_page";
+  RecursiveSkewDistribution dist(0.8, 0.2, db_pages);
   uint64_t ops_per_thread = total_ops / static_cast<uint64_t>(cell.threads);
   auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
@@ -101,8 +134,8 @@ void RunCell(Pool& pool, Cell& cell, uint64_t total_ops) {
     workers.emplace_back([&, t] {
       RandomEngine rng(0xFACE + static_cast<uint64_t>(t));
       for (uint64_t i = 0; i < ops_per_thread; ++i) {
-        PageId p = pages[dist.Sample(rng) - 1];
-        bool write = rng.NextBernoulli(kWriteFraction);
+        PageId p = hot ? pages[0] : pages[dist.Sample(rng) - 1];
+        bool write = !hot && rng.NextBernoulli(kWriteFraction);
         auto page = pool.FetchPage(
             p, write ? AccessType::kWrite : AccessType::kRead);
         if (page.ok()) (void)pool.UnpinPage(p, false);
@@ -124,6 +157,10 @@ void RunCell(Pool& pool, Cell& cell, uint64_t total_ops) {
   cell.read_failures = stats.read_failures;
   cell.write_failures = stats.write_failures;
   cell.retries = stats.retries;
+  cell.optimistic_hits = stats.optimistic_hits;
+  cell.optimistic_fallbacks = stats.optimistic_fallbacks;
+  cell.pin_cas_retries = stats.pin_cas_retries;
+  cell.latch_acquires = stats.latch_acquires;
   AccessBufferStats end_stats = pool.access_buffer_stats();
   cell.buffer_stats.drains = end_stats.drains - setup_stats.drains;
   cell.buffer_stats.drained_records =
@@ -146,10 +183,31 @@ std::unique_ptr<ReplacementPolicy> MakeLru2(size_t capacity) {
       LruKOptions{.k = 2, .capacity_hint = capacity});
 }
 
+BufferPoolOptions CellOptions(size_t batch, bool optimistic) {
+  BufferPoolOptions options;
+  options.batch_capacity = batch;
+  options.batch_stripes = batch == 0 ? 1 : kStripes;
+  options.optimistic_hits = optimistic;
+  return options;
+}
+
+struct Checks {
+  bool accounting_ok = true;
+  double speedup_batch = 0.0;      // 8t, batch 64 vs batch 0, latched.
+  double optimistic_1t = 0.0;      // 1t Zipfian, optimistic vs latched b64.
+  double hot_page_1t = 0.0;        // 1t hot page, optimistic vs latched.
+  double optimistic_8t = 0.0;      // 8t, optimistic vs latched batch 64.
+  double hot_page_ratio = 0.0;     // 8t hot page, optimistic vs latched.
+  bool enforced = false;           // cores >= 4: multi-thread checks bind.
+  bool speedup_ok = false;
+  bool optimistic_1t_ok = false;
+  bool optimistic_8t_ok = false;
+  bool hot_page_ok = false;
+};
+
 void WriteJson(const char* path, const BenchProvenance& provenance,
                const std::vector<Cell>& cells, unsigned cores, uint64_t ops,
-               bool accounting_ok, double speedup, bool enforced,
-               bool speedup_ok) {
+               const Checks& checks) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
@@ -167,15 +225,20 @@ void WriteJson(const char* path, const BenchProvenance& provenance,
     const Cell& c = cells[i];
     std::fprintf(
         f,
-        "    {\"pool\": \"%s\", \"shards\": %zu, \"threads\": %d, "
+        "    {\"pool\": \"%s\", \"mode\": \"%s\", \"workload\": \"%s\", "
+        "\"shards\": %zu, \"threads\": %d, "
         "\"batch_capacity\": %zu, \"ops_per_sec\": %.1f, "
         "\"hit_ratio\": %.4f, \"hits\": %llu, \"misses\": %llu, "
         "\"drains\": %llu, \"drained_records\": %llu, "
         "\"empty_drains\": %llu, \"full_pushes\": %llu, "
         "\"records_per_drain\": %.1f, \"read_failures\": %llu, "
-        "\"write_failures\": %llu, \"retries\": %llu}%s\n",
-        c.pool.c_str(), c.shards, c.threads, c.batch_capacity, c.ops_per_sec,
-        c.hit_ratio, static_cast<unsigned long long>(c.hits),
+        "\"write_failures\": %llu, \"retries\": %llu, "
+        "\"optimistic_hits\": %llu, \"optimistic_fallbacks\": %llu, "
+        "\"pin_cas_retries\": %llu, \"latch_acquires\": %llu, "
+        "\"latch_acquires_per_op\": %.4f, \"cas_retries_per_op\": %.4f}%s\n",
+        c.pool.c_str(), c.mode.c_str(), c.workload.c_str(), c.shards,
+        c.threads, c.batch_capacity, c.ops_per_sec, c.hit_ratio,
+        static_cast<unsigned long long>(c.hits),
         static_cast<unsigned long long>(c.misses),
         static_cast<unsigned long long>(c.buffer_stats.drains),
         static_cast<unsigned long long>(c.buffer_stats.drained_records),
@@ -185,6 +248,12 @@ void WriteJson(const char* path, const BenchProvenance& provenance,
         static_cast<unsigned long long>(c.read_failures),
         static_cast<unsigned long long>(c.write_failures),
         static_cast<unsigned long long>(c.retries),
+        static_cast<unsigned long long>(c.optimistic_hits),
+        static_cast<unsigned long long>(c.optimistic_fallbacks),
+        static_cast<unsigned long long>(c.pin_cas_retries),
+        static_cast<unsigned long long>(c.latch_acquires),
+        PerOp(c.latch_acquires, c.ops_issued),
+        PerOp(c.pin_cas_retries, c.ops_issued),
         i + 1 < cells.size() ? "," : "");
   }
   std::fprintf(f,
@@ -192,9 +261,23 @@ void WriteJson(const char* path, const BenchProvenance& provenance,
                "    \"accounting_exact\": %s,\n"
                "    \"speedup_8t_batch64_vs_batch0\": %.3f,\n"
                "    \"speedup_enforced\": %s,\n"
-               "    \"speedup_ok\": %s\n  }\n}\n",
-               accounting_ok ? "true" : "false", speedup,
-               enforced ? "true" : "false", speedup_ok ? "true" : "false");
+               "    \"speedup_ok\": %s,\n"
+               "    \"optimistic_1t_vs_latched\": %.3f,\n"
+               "    \"hot_page_1t_optimistic_vs_latched\": %.3f,\n"
+               "    \"optimistic_1t_ok\": %s,\n"
+               "    \"optimistic_8t_vs_latched\": %.3f,\n"
+               "    \"optimistic_8t_ok\": %s,\n"
+               "    \"hot_page_8t_optimistic_vs_latched\": %.3f,\n"
+               "    \"hot_page_ok\": %s\n  }\n}\n",
+               checks.accounting_ok ? "true" : "false", checks.speedup_batch,
+               checks.enforced ? "true" : "false",
+               checks.speedup_ok ? "true" : "false", checks.optimistic_1t,
+               checks.hot_page_1t,
+               checks.optimistic_1t_ok ? "true" : "false",
+               checks.optimistic_8t,
+               checks.optimistic_8t_ok ? "true" : "false",
+               checks.hot_page_ratio,
+               checks.hot_page_ok ? "true" : "false");
   std::fclose(f);
 }
 
@@ -229,81 +312,129 @@ int main(int argc, char** argv) {
   unsigned cores = std::thread::hardware_concurrency();
 
   std::printf(
-      "Batched access recording: Zipfian 80-20 fetch/unpin (%llu pages, "
+      "Hit-path contention ladder: Zipfian 80-20 fetch/unpin (%llu pages, "
       "%zu frames, LRU-2, %.0f%% writes, %u cores)\n\n",
       static_cast<unsigned long long>(kDbPages), kFrames,
       kWriteFraction * 100, cores);
 
   std::vector<Cell> cells;
-  AsciiTable table({"pool", "threads", "batch", "ops/sec", "hit ratio",
-                    "drains", "recs/drain", "full pushes"});
+  AsciiTable table({"pool", "mode", "workload", "threads", "batch",
+                    "ops/sec", "hit ratio", "latch/op", "cas/op",
+                    "recs/drain"});
+  auto add_row = [&](const Cell& cell) {
+    table.AddRow({cell.pool, cell.mode, cell.workload,
+                  AsciiTable::Integer(cell.threads),
+                  AsciiTable::Integer(cell.batch_capacity),
+                  AsciiTable::Integer(
+                      static_cast<uint64_t>(cell.ops_per_sec)),
+                  AsciiTable::Fixed(cell.hit_ratio, 3),
+                  AsciiTable::Fixed(PerOp(cell.latch_acquires,
+                                          cell.ops_issued), 3),
+                  AsciiTable::Fixed(PerOp(cell.pin_cas_retries,
+                                          cell.ops_issued), 4),
+                  AsciiTable::Fixed(RecordsPerDrain(cell.buffer_stats), 1)});
+    cells.push_back(cell);
+  };
 
-  double baseline_8t = 0, batched64_8t = 0;
+  Checks checks;
+  double baseline_8t = 0, batched64_8t = 0, latched_1t = 0;
+  double optimistic_1t = 0, optimistic_8t = 0;
   for (int threads : thread_counts) {
     for (size_t batch : batch_capacities) {
       SimDiskOptions disk_options;
       disk_options.read_micros = 0.0;  // Measure the latch, not fake I/O.
       disk_options.write_micros = 0.0;
       SimDiskManager disk(disk_options);
-      BufferPool pool(
-          kFrames, &disk, MakeLru2(kFrames),
-          BufferPoolOptions{.batch_capacity = batch,
-                            .batch_stripes = batch == 0 ? 1 : kStripes});
+      BufferPool pool(kFrames, &disk, MakeLru2(kFrames),
+                      CellOptions(batch, /*optimistic=*/false));
       Cell cell{.pool = "single-latch", .shards = 1, .threads = threads,
                 .batch_capacity = batch};
-      RunCell(pool, cell, total_ops);
+      RunCell(pool, cell, total_ops, kDbPages);
       if (threads == 8 && batch == 0) baseline_8t = cell.ops_per_sec;
       if (threads == 8 && batch == 64) batched64_8t = cell.ops_per_sec;
-      table.AddRow({cell.pool, AsciiTable::Integer(threads),
-                    AsciiTable::Integer(batch),
-                    AsciiTable::Integer(
-                        static_cast<uint64_t>(cell.ops_per_sec)),
-                    AsciiTable::Fixed(cell.hit_ratio, 3),
-                    AsciiTable::Integer(cell.buffer_stats.drains),
-                    AsciiTable::Fixed(RecordsPerDrain(cell.buffer_stats), 1),
-                    AsciiTable::Integer(cell.buffer_stats.full_pushes)});
-      cells.push_back(cell);
+      if (threads == 1 && batch == 64) latched_1t = cell.ops_per_sec;
+      add_row(cell);
+    }
+    // The optimistic rung at the same thread count (batch 64: the
+    // latch-free hit publishes through the AccessBuffer, so this is the
+    // apples-to-apples comparison against the latched batch-64 cell).
+    {
+      SimDiskOptions disk_options;
+      disk_options.read_micros = 0.0;
+      disk_options.write_micros = 0.0;
+      SimDiskManager disk(disk_options);
+      BufferPool pool(kFrames, &disk, MakeLru2(kFrames),
+                      CellOptions(64, /*optimistic=*/true));
+      Cell cell{.pool = "single-latch", .mode = "optimistic", .shards = 1,
+                .threads = threads, .batch_capacity = 64};
+      RunCell(pool, cell, total_ops, kDbPages);
+      if (threads == 1) optimistic_1t = cell.ops_per_sec;
+      if (threads == 8) optimistic_8t = cell.ops_per_sec;
+      add_row(cell);
     }
   }
 
-  // Composition row: the same knob through ShardedBufferPool.
-  for (size_t batch : {size_t{0}, size_t{64}}) {
-    SimDiskOptions disk_options;
-    disk_options.read_micros = 0.0;
-    disk_options.write_micros = 0.0;
-    SimDiskManager disk(disk_options);
-    auto factory = MakeShardPolicyFactory(PolicyConfig::LruK(2));
-    if (!factory.ok()) {
-      std::fprintf(stderr, "factory: %s\n",
-                   factory.status().ToString().c_str());
-      return 1;
+  // Composition rows: the same knobs through ShardedBufferPool.
+  for (bool optimistic : {false, true}) {
+    for (size_t batch : {size_t{0}, size_t{64}}) {
+      if (optimistic && batch == 0) continue;  // Implies batching anyway.
+      SimDiskOptions disk_options;
+      disk_options.read_micros = 0.0;
+      disk_options.write_micros = 0.0;
+      SimDiskManager disk(disk_options);
+      auto factory = MakeShardPolicyFactory(PolicyConfig::LruK(2));
+      if (!factory.ok()) {
+        std::fprintf(stderr, "factory: %s\n",
+                     factory.status().ToString().c_str());
+        return 1;
+      }
+      ShardedBufferPool pool(kFrames, /*num_shards=*/4, &disk, *factory,
+                             CellOptions(batch, optimistic));
+      Cell cell{.pool = "sharded x4",
+                .mode = optimistic ? "optimistic" : "latched", .shards = 4,
+                .threads = 8, .batch_capacity = batch};
+      RunCell(pool, cell, total_ops, kDbPages);
+      add_row(cell);
     }
-    ShardedBufferPool pool(
-        kFrames, /*num_shards=*/4, &disk, *factory,
-        BufferPoolOptions{.batch_capacity = batch,
-                          .batch_stripes = batch == 0 ? 1 : kStripes});
-    Cell cell{.pool = "sharded x4", .shards = 4, .threads = 8,
-              .batch_capacity = batch};
-    RunCell(pool, cell, total_ops);
-    table.AddRow({cell.pool, AsciiTable::Integer(8),
-                  AsciiTable::Integer(batch),
-                  AsciiTable::Integer(
-                      static_cast<uint64_t>(cell.ops_per_sec)),
-                  AsciiTable::Fixed(cell.hit_ratio, 3),
-                  AsciiTable::Integer(cell.buffer_stats.drains),
-                  AsciiTable::Fixed(RecordsPerDrain(cell.buffer_stats), 1),
-                  AsciiTable::Integer(cell.buffer_stats.full_pushes)});
-    cells.push_back(cell);
+  }
+
+  // The hot-page cells: every thread hammers ONE page. At 8 threads the
+  // latch (or the pin CAS) is the entire workload; at 1 thread this is
+  // the pure per-hit cost with no misses and no contention — the cleanest
+  // single-thread comparison of the two hit paths.
+  double hot_latched = 0, hot_optimistic = 0;
+  double hot1_latched = 0, hot1_optimistic = 0;
+  for (int threads : {1, 8}) {
+    for (bool optimistic : {false, true}) {
+      SimDiskOptions disk_options;
+      disk_options.read_micros = 0.0;
+      disk_options.write_micros = 0.0;
+      SimDiskManager disk(disk_options);
+      BufferPool pool(kFrames, &disk, MakeLru2(kFrames),
+                      CellOptions(64, optimistic));
+      Cell cell{.pool = "single-latch",
+                .mode = optimistic ? "optimistic" : "latched",
+                .workload = "hot_page", .shards = 1, .threads = threads,
+                .batch_capacity = 64};
+      RunCell(pool, cell, total_ops, kHotDbPages);
+      if (threads == 8) {
+        (optimistic ? hot_optimistic : hot_latched) = cell.ops_per_sec;
+      } else {
+        (optimistic ? hot1_optimistic : hot1_latched) = cell.ops_per_sec;
+      }
+      add_row(cell);
+    }
   }
   table.Print();
 
-  bool accounting_ok = true;
+  checks.accounting_ok = true;
   for (const Cell& c : cells) {
     if (c.hits + c.misses != c.ops_issued) {
-      accounting_ok = false;
-      std::printf("accounting mismatch: %s t=%d b=%zu: %llu + %llu != %llu\n",
-                  c.pool.c_str(), c.threads, c.batch_capacity,
-                  static_cast<unsigned long long>(c.hits),
+      checks.accounting_ok = false;
+      std::printf("accounting mismatch: %s %s t=%d b=%zu: "
+                  "%llu + %llu != %llu\n",
+                  c.pool.c_str(), c.mode.c_str(), c.threads,
+                  c.batch_capacity, static_cast<unsigned long long>(c.hits),
                   static_cast<unsigned long long>(c.misses),
                   static_cast<unsigned long long>(c.ops_issued));
     }
@@ -322,28 +453,60 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(total_write_failures),
               static_cast<unsigned long long>(total_retries));
 
-  double speedup = baseline_8t > 0 ? batched64_8t / baseline_8t : 0.0;
+  checks.speedup_batch = baseline_8t > 0 ? batched64_8t / baseline_8t : 0.0;
+  checks.optimistic_1t = latched_1t > 0 ? optimistic_1t / latched_1t : 0.0;
+  checks.hot_page_1t = hot1_latched > 0 ? hot1_optimistic / hot1_latched : 0.0;
+  checks.optimistic_8t =
+      batched64_8t > 0 ? optimistic_8t / batched64_8t : 0.0;
+  checks.hot_page_ratio =
+      hot_latched > 0 ? hot_optimistic / hot_latched : 0.0;
   std::printf("\nspeedup (8 threads, batch 64 vs batch 0, single latch): "
-              "%.2fx\n",
-              speedup);
-  bool enforced = cores >= 4;
-  bool speedup_ok = speedup >= 2.0;
-  if (!enforced) {
+              "%.2fx\n", checks.speedup_batch);
+  std::printf("optimistic vs latched batch-64 (single latch): "
+              "1t zipfian %.2fx, 1t hot page %.2fx, 8t %.2fx, "
+              "8t hot page %.2fx\n",
+              checks.optimistic_1t, checks.hot_page_1t,
+              checks.optimistic_8t, checks.hot_page_ratio);
+  checks.enforced = cores >= 4;
+  checks.speedup_ok = checks.speedup_batch >= 2.0;
+  // The latch-free hit must win single-threaded where hits are the whole
+  // workload (hot page: no contention to win, pure per-hit cost — the
+  // uncontended mutex pair still loses to the probe + pin CAS), and must
+  // stay within noise of latched on the miss-diluted Zipfian cell (~30%
+  // of its ops take the latched miss path either way).
+  checks.optimistic_1t_ok =
+      checks.hot_page_1t >= 1.0 && checks.optimistic_1t >= 0.9;
+  // ...and must win (or at least not lose) once threads actually contend.
+  checks.optimistic_8t_ok = checks.optimistic_8t >= 1.0;
+  checks.hot_page_ok = checks.hot_page_ratio >= 1.0;
+  if (!checks.enforced) {
     std::printf("note: only %u hardware threads — latch contention needs "
-                ">=4 cores, reporting without enforcement\n",
-                cores);
-    speedup_ok = true;
+                ">=4 cores, reporting multi-thread criteria without "
+                "enforcement\n", cores);
+    checks.speedup_ok = true;
+    checks.optimistic_8t_ok = true;
+    checks.hot_page_ok = true;
   }
   std::printf("shape: hit+miss totals exactly equal ops in every cell: %s\n",
-              accounting_ok ? "yes" : "NO");
+              checks.accounting_ok ? "yes" : "NO");
   std::printf("shape: 8-thread batch-64 throughput >= 2x batch-0 "
+              "(or <4 cores): %s\n", checks.speedup_ok ? "yes" : "NO");
+  std::printf("shape: optimistic >= 1x latched on the 1-thread hot page "
+              "and >= 0.9x on 1-thread zipfian: %s\n",
+              checks.optimistic_1t_ok ? "yes" : "NO");
+  std::printf("shape: optimistic >= 1x latched batch-64 at 8 threads "
               "(or <4 cores): %s\n",
-              speedup_ok ? "yes" : "NO");
+              checks.optimistic_8t_ok ? "yes" : "NO");
+  std::printf("shape: optimistic >= 1x latched on the 8-thread hot page "
+              "(or <4 cores): %s\n", checks.hot_page_ok ? "yes" : "NO");
 
   if (json_path != nullptr) {
-    WriteJson(json_path, provenance, cells, cores, total_ops, accounting_ok,
-              speedup, enforced, speedup_ok);
+    WriteJson(json_path, provenance, cells, cores, total_ops, checks);
     std::printf("wrote %s\n", json_path);
   }
-  return accounting_ok && speedup_ok ? 0 : 1;
+  return checks.accounting_ok && checks.speedup_ok &&
+                 checks.optimistic_1t_ok && checks.optimistic_8t_ok &&
+                 checks.hot_page_ok
+             ? 0
+             : 1;
 }

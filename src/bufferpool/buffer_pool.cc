@@ -5,6 +5,46 @@
 
 namespace lruk {
 
+BufferPoolStats BufferPool::AtomicPoolStats::ToStats() const {
+  BufferPoolStats s;
+  s.hits = hits.load(std::memory_order_relaxed);
+  s.misses = misses.load(std::memory_order_relaxed);
+  s.evictions = evictions.load(std::memory_order_relaxed);
+  s.dirty_writebacks = dirty_writebacks.load(std::memory_order_relaxed);
+  s.read_failures = read_failures.load(std::memory_order_relaxed);
+  s.write_failures = write_failures.load(std::memory_order_relaxed);
+  s.retries = retries.load(std::memory_order_relaxed);
+  s.coalesced_reads = coalesced_reads.load(std::memory_order_relaxed);
+  s.prefetch_issued = prefetch_issued.load(std::memory_order_relaxed);
+  s.prefetch_used = prefetch_used.load(std::memory_order_relaxed);
+  s.prefetch_dropped = prefetch_dropped.load(std::memory_order_relaxed);
+  s.background_cleans = background_cleans.load(std::memory_order_relaxed);
+  s.optimistic_hits = optimistic_hits.load(std::memory_order_relaxed);
+  s.optimistic_fallbacks = optimistic_fallbacks.load(std::memory_order_relaxed);
+  s.pin_cas_retries = pin_cas_retries.load(std::memory_order_relaxed);
+  s.latch_acquires = latch_acquires.load(std::memory_order_relaxed);
+  return s;
+}
+
+void BufferPool::AtomicPoolStats::Reset() {
+  hits.store(0, std::memory_order_relaxed);
+  misses.store(0, std::memory_order_relaxed);
+  evictions.store(0, std::memory_order_relaxed);
+  dirty_writebacks.store(0, std::memory_order_relaxed);
+  read_failures.store(0, std::memory_order_relaxed);
+  write_failures.store(0, std::memory_order_relaxed);
+  retries.store(0, std::memory_order_relaxed);
+  coalesced_reads.store(0, std::memory_order_relaxed);
+  prefetch_issued.store(0, std::memory_order_relaxed);
+  prefetch_used.store(0, std::memory_order_relaxed);
+  prefetch_dropped.store(0, std::memory_order_relaxed);
+  background_cleans.store(0, std::memory_order_relaxed);
+  optimistic_hits.store(0, std::memory_order_relaxed);
+  optimistic_fallbacks.store(0, std::memory_order_relaxed);
+  pin_cas_retries.store(0, std::memory_order_relaxed);
+  latch_acquires.store(0, std::memory_order_relaxed);
+}
+
 BufferPool::BufferPool(size_t capacity, DiskManager* disk,
                        std::unique_ptr<ReplacementPolicy> policy,
                        BufferPoolOptions options,
@@ -12,10 +52,18 @@ BufferPool::BufferPool(size_t capacity, DiskManager* disk,
     : capacity_(capacity),
       disk_(disk),
       policy_(std::move(policy)),
-      options_(options) {
+      options_(options),
+      page_table_(capacity) {
   LRUK_ASSERT(capacity_ >= 1, "buffer pool needs at least one frame");
   LRUK_ASSERT(disk_ != nullptr, "buffer pool needs a disk manager");
   LRUK_ASSERT(policy_ != nullptr, "buffer pool needs a replacement policy");
+  optimistic_ = options_.optimistic_hits;
+  if (optimistic_ && options_.batch_capacity == 0) {
+    // A latch-free hit can only publish its reference through the
+    // AccessBuffer (RecordAccess needs the latch), so optimistic mode
+    // implies batching.
+    options_.batch_capacity = 64;
+  }
   if (options_.batch_capacity > 0) {
     access_buffer_ = std::make_unique<AccessBuffer>(
         options_.batch_capacity,
@@ -33,8 +81,23 @@ BufferPool::BufferPool(size_t capacity, DiskManager* disk,
       readahead_ = std::make_unique<ReadaheadDetector>(options_.readahead);
     }
   }
-  frames_.resize(capacity_);
-  frame_prefetched_.assign(capacity_, 0);
+  // With a pool-level readahead detector, hits must pass through the
+  // latched path so the detector observes the full fetch stream — and
+  // once no pin or unpin can ever run latch-free, the rest of the
+  // optimistic machinery must stand down too: the skip-pinned eviction
+  // dance (Evict + Restore of a pinned nominee) churns LRU-K's bounded
+  // retained-history budget, which is only justified when latch-free
+  // pins make SetEvictable unusable. So a pool with its own detector
+  // runs fully latched; ShardedBufferPool keeps per-shard readahead
+  // off, so its shards stay fully optimistic under its own
+  // above-the-shards detector.
+  if (readahead_ != nullptr) optimistic_ = false;
+  fast_path_ = optimistic_;
+  frames_ = std::make_unique<Page[]>(capacity_);
+  frame_prefetched_ = std::make_unique<std::atomic<uint8_t>[]>(capacity_);
+  for (size_t f = 0; f < capacity_; ++f) {
+    frame_prefetched_[f].store(0, std::memory_order_relaxed);
+  }
   free_frames_.reserve(capacity_);
   for (FrameId f = 0; f < capacity_; ++f) {
     free_frames_.push_back(static_cast<FrameId>(capacity_ - 1 - f));
@@ -70,41 +133,99 @@ Result<FrameId> BufferPool::AcquireFrame() {
     free_frames_.pop_back();
     return f;
   }
-  auto victim = policy_->Evict();
-  if (!victim.has_value()) {
-    return Status::ResourceExhausted(
-        "all buffer frames are pinned; cannot evict");
-  }
-  auto it = page_table_.find(*victim);
-  LRUK_ASSERT(it != page_table_.end(),
-              "policy evicted a page the pool does not hold");
-  FrameId f = it->second;
-  Page& page = frames_[f];
-  LRUK_ASSERT(page.pin_count_ == 0, "policy evicted a pinned page");
-  if (page.dirty_) {
-    // Write back BEFORE dismantling any pool state, so a failure can roll
-    // the eviction back: the frame still holds the page image and its
-    // page-table entry, pin count (0) and dirty bit are untouched —
-    // Restore() re-registers the victim with the policy and the pool is
-    // exactly as it was before Evict(). No eviction is counted.
-    Status written = DiskWrite(page.id_, page.Data());
-    if (!written.ok()) {
-      policy_->Restore(*victim);
-      return written;
+  if (!optimistic_) {
+    auto victim = policy_->Evict();
+    if (!victim.has_value()) {
+      return Status::ResourceExhausted(
+          "all buffer frames are pinned; cannot evict");
     }
-    ++stats_.dirty_writebacks;
+    FrameId f = 0;
+    bool found = page_table_.Find(*victim, &f);
+    LRUK_ASSERT(found, "policy evicted a page the pool does not hold");
+    Page& page = frames_[f];
+    LRUK_ASSERT(page.pin_count_.load(std::memory_order_relaxed) == 0,
+                "policy evicted a pinned page");
+    if (page.is_dirty()) {
+      // Write back BEFORE dismantling any pool state, so a failure can
+      // roll the eviction back: the frame still holds the page image and
+      // its page-table entry, pin count (0) and dirty bit are untouched —
+      // Restore() re-registers the victim with the policy and the pool is
+      // exactly as it was before Evict(). No eviction is counted.
+      Status written = DiskWrite(page.id_, page.Data());
+      if (!written.ok()) {
+        policy_->Restore(*victim);
+        return written;
+      }
+      ++stats_.dirty_writebacks;
+    }
+    page_table_.Erase(*victim);
+    page.id_ = kInvalidPageId;
+    page.dirty_.store(false, std::memory_order_relaxed);
+    ++stats_.evictions;
+    return f;
   }
-  page_table_.erase(it);
-  page.id_ = kInvalidPageId;
-  page.dirty_ = false;
-  ++stats_.evictions;
-  return f;
+  // Optimistic mode: SetEvictable is unused (a latch-free unpin cannot
+  // call it), so the policy nominates pinned pages too; pin counts are
+  // the ground truth. Pop victims until an unpinned one survives the
+  // bucket handshake, then restore the skipped ones in reverse pop order
+  // (exact for LRU-K — same Evict×n + Restore shape as the flusher peek;
+  // single-threaded there are no pinned nominations in steady fetch/unpin
+  // loops, so behaviour is identical to the latched path).
+  std::vector<PageId> skipped;
+  Result<FrameId> result = Status::ResourceExhausted(
+      "all buffer frames are pinned; cannot evict");
+  for (;;) {
+    auto victim = policy_->Evict();
+    if (!victim.has_value()) break;
+    FrameId f = 0;
+    bool found = page_table_.Find(*victim, &f);
+    LRUK_ASSERT(found, "policy evicted a page the pool does not hold");
+    Page& page = frames_[f];
+    // Invalidate the bucket FIRST, then read the pin count: any
+    // optimistic reader that pinned before our version bump is visible
+    // here (seq_cst store-load handshake); any later one fails its
+    // validation and undoes its pin. A transient speculative pin from a
+    // stale reader can park a +1 on any frame, so a nonzero count only
+    // means "skip", never "corrupt".
+    size_t bucket = page_table_.LockBucket(*victim);
+    if (page.pin_count_.load() != 0) {
+      page_table_.UnlockUnchanged(bucket);
+      skipped.push_back(*victim);
+      continue;
+    }
+    // Unpinned and the bucket is odd: no reader can validate a new pin
+    // until we release the bucket, so the frame is exclusively ours —
+    // the write-back below cannot race a page writer.
+    if (page.is_dirty()) {
+      Status written = DiskWrite(page.id_, page.Data());
+      if (!written.ok()) {
+        policy_->Restore(*victim);
+        page_table_.UnlockUnchanged(bucket);
+        result = written;
+        break;
+      }
+      ++stats_.dirty_writebacks;
+    }
+    page_table_.UnlockErased(bucket);
+    page.id_ = kInvalidPageId;
+    page.dirty_.store(false, std::memory_order_relaxed);
+    ++stats_.evictions;
+    result = f;
+    break;
+  }
+  for (auto it = skipped.rbegin(); it != skipped.rend(); ++it) {
+    policy_->Restore(*it);
+  }
+  return result;
 }
 
 void BufferPool::DrainAccessBufferLocked() const {
   // unique_ptr members are shallow-const, so observation paths (stats)
-  // can drain through the same helper as mutating ones.
-  if (access_buffer_ != nullptr) access_buffer_->Drain(*policy_);
+  // can drain through the same helper as mutating ones. In optimistic
+  // mode records for since-evicted pages are dropped: a latch-free
+  // pin + publish + unpin can complete entirely inside another thread's
+  // latch hold, so the page may be gone before its record drains.
+  if (access_buffer_ != nullptr) access_buffer_->Drain(*policy_, optimistic_);
 }
 
 void BufferPool::FinishPendingLocked(PageId p,
@@ -138,7 +259,7 @@ void BufferPool::QuiesceLocked(std::unique_lock<std::mutex>& guard) {
 }
 
 void BufferPool::Quiesce() {
-  std::unique_lock<std::mutex> guard(latch_);
+  auto guard = Lock();
   QuiesceLocked(guard);
 }
 
@@ -151,7 +272,7 @@ bool BufferPool::RegisterPrefetchLocked(PageId p) {
 }
 
 void BufferPool::ExecutePrefetch(PageId p) {
-  std::unique_lock<std::mutex> guard(latch_);
+  auto guard = Lock();
   auto it = pending_reads_.find(p);
   LRUK_ASSERT(it != pending_reads_.end(), "prefetch lost its tracker entry");
   std::shared_ptr<PendingIo> entry = it->second;
@@ -185,6 +306,7 @@ void BufferPool::ExecutePrefetch(PageId p) {
   outcome = RetryWithBackoff(options_.io_retry,
                              [&] { return disk_->ReadPage(p, page.Data()); });
   guard.lock();
+  CountLatchAcquire();
   stats_.retries += outcome.retries;
   if (!outcome.status.ok()) {
     free_frames_.push_back(*frame);
@@ -192,10 +314,13 @@ void BufferPool::ExecutePrefetch(PageId p) {
     return;
   }
   page.id_ = p;
-  page.pin_count_ = 0;
-  page.dirty_ = false;
-  page_table_.emplace(p, *frame);
-  frame_prefetched_[*frame] = 1;
+  // The frame came out of AcquireFrame with pin 0 and its clean image is
+  // being installed; only the dirty flag needs (re)setting — pin counts
+  // are never blind-stored (a stale optimistic reader may hold a
+  // transient +1 it is about to undo).
+  page.dirty_.store(false, std::memory_order_relaxed);
+  page_table_.Insert(p, *frame);
+  frame_prefetched_[*frame].store(1, std::memory_order_relaxed);
   // The admission ticks the policy clock; the demand reference that
   // (hopefully) follows lands as a hit within the correlated period.
   policy_->Admit(p, AccessType::kRead);
@@ -213,9 +338,7 @@ void BufferPool::CollectBackgroundWorkLocked(PageId p,
       if (RegisterPrefetchLocked(q)) targets->push_back(q);
     }
   }
-  if (options_.flusher &&
-      ++ops_since_flusher_ >= options_.flusher_every_ops) {
-    ops_since_flusher_ = 0;
+  if (TickFlusher()) {
     *flusher_due = true;
     ++inflight_background_;
   }
@@ -228,7 +351,7 @@ void BufferPool::LaunchBackgroundWork(const std::vector<PageId>& prefetches,
     if (io_->TryPost([this, q] { ExecutePrefetch(q); })) continue;
     // Queue full: the prefetch never runs, so retire its tracker entry
     // here. Any demand fetch already waiting retries as a primary.
-    std::lock_guard<std::mutex> guard(latch_);
+    auto guard = Lock();
     auto it = pending_reads_.find(q);
     LRUK_ASSERT(it != pending_reads_.end() && !it->second->done,
                 "rejected prefetch already completed");
@@ -243,13 +366,13 @@ void BufferPool::LaunchBackgroundWork(const std::vector<PageId>& prefetches,
   if (!flusher_due) return;
   bool posted = io_->TryPost([this] {
     RunFlusherPass();
-    std::lock_guard<std::mutex> guard(latch_);
+    auto guard = Lock();
     --inflight_background_;
     quiesce_cv_.notify_all();
   });
   if (!posted) {
     // Dropped pass; the next trigger tries again.
-    std::lock_guard<std::mutex> guard(latch_);
+    auto guard = Lock();
     --inflight_background_;
     quiesce_cv_.notify_all();
   }
@@ -258,14 +381,14 @@ void BufferPool::LaunchBackgroundWork(const std::vector<PageId>& prefetches,
 void BufferPool::RequestPrefetch(PageId p) {
   if (io_ == nullptr) return;
   {
-    std::lock_guard<std::mutex> guard(latch_);
+    auto guard = Lock();
     if (!RegisterPrefetchLocked(p)) return;
   }
   LaunchBackgroundWork({p}, /*flusher_due=*/false);
 }
 
 void BufferPool::RunFlusherPass() {
-  std::unique_lock<std::mutex> guard(latch_);
+  auto guard = Lock();
   DrainAccessBufferLocked();
   // Peek the next victims without evicting: Evict() pops them in victim
   // order, Restore() puts them back exactly (LRU-K resurrects the HIST
@@ -273,13 +396,32 @@ void BufferPool::RunFlusherPass() {
   // pay one tick per peeked page — the flusher is opt-in). LIFO restore
   // order keeps Restore's "most recent Evict result" contract.
   std::vector<PageId> victims;
-  size_t want = options_.flusher_batch;
-  if (want > policy_->EvictableCount()) want = policy_->EvictableCount();
-  victims.reserve(want);
-  for (size_t i = 0; i < want; ++i) {
-    auto victim = policy_->Evict();
-    if (!victim.has_value()) break;
-    victims.push_back(*victim);
+  // The pages the pass will try to clean. Latched mode: every peeked
+  // victim (they are all unpinned by construction). Optimistic mode: the
+  // policy nominates pinned pages too, so keep popping until
+  // flusher_batch unpinned ones surface (or the policy runs dry) — the
+  // clean set matches the latched peek exactly when nothing is pinned.
+  std::vector<PageId> clean_set;
+  if (!optimistic_) {
+    size_t want = options_.flusher_batch;
+    if (want > policy_->EvictableCount()) want = policy_->EvictableCount();
+    victims.reserve(want);
+    for (size_t i = 0; i < want; ++i) {
+      auto victim = policy_->Evict();
+      if (!victim.has_value()) break;
+      victims.push_back(*victim);
+    }
+    clean_set = victims;
+  } else {
+    while (clean_set.size() < options_.flusher_batch) {
+      auto victim = policy_->Evict();
+      if (!victim.has_value()) break;
+      victims.push_back(*victim);
+      FrameId f = 0;
+      bool found = page_table_.Find(*victim, &f);
+      LRUK_ASSERT(found, "flusher peeked a page the pool does not hold");
+      if (frames_[f].pin_count() == 0) clean_set.push_back(*victim);
+    }
   }
   for (auto it = victims.rbegin(); it != victims.rend(); ++it) {
     policy_->Restore(*it);
@@ -287,39 +429,110 @@ void BufferPool::RunFlusherPass() {
   // Clean in victim order, most imminent first. A failed write-back
   // leaves the page dirty (and resident — it was restored above); the
   // eviction path retries the write when the page's turn really comes.
-  for (PageId v : victims) {
-    auto entry = page_table_.find(v);
-    LRUK_ASSERT(entry != page_table_.end(),
-                "flusher peeked a page the pool does not hold");
-    Page& page = frames_[entry->second];
-    if (!page.dirty_) continue;
-    Status written = DiskWrite(v, page.Data());
-    if (written.ok()) {
-      page.dirty_ = false;
-      ++stats_.background_cleans;
+  for (PageId v : clean_set) {
+    FrameId f = 0;
+    bool found = page_table_.Find(v, &f);
+    LRUK_ASSERT(found, "flusher peeked a page the pool does not hold");
+    Page& page = frames_[f];
+    if (optimistic_) {
+      // Same handshake as eviction: bucket odd, THEN re-check the pin —
+      // a concurrent latch-free pin either lands before the bump (seen
+      // here: skip) or fails validation; either way nobody can be
+      // writing the page image during the write-back below.
+      size_t bucket = page_table_.LockBucket(v);
+      if (page.pin_count_.load() != 0 || !page.is_dirty()) {
+        page_table_.UnlockUnchanged(bucket);
+        continue;
+      }
+      Status written = DiskWrite(v, page.Data());
+      if (written.ok()) {
+        page.dirty_.store(false, std::memory_order_relaxed);
+        ++stats_.background_cleans;
+      }
+      page_table_.UnlockUnchanged(bucket);
+    } else {
+      if (!page.is_dirty()) continue;
+      Status written = DiskWrite(v, page.Data());
+      if (written.ok()) {
+        page.dirty_.store(false, std::memory_order_relaxed);
+        ++stats_.background_cleans;
+      }
     }
   }
 }
 
+Page* BufferPool::TryOptimisticHit(PageId p, AccessType type) {
+  PageTable::Snapshot snap;
+  if (!page_table_.OptimisticFind(p, &snap)) return nullptr;
+  Page& page = frames_[snap.frame];
+  // Speculative pin, then re-validate: if the bucket's version moved, an
+  // eviction/delete/shift touched the mapping and the pin may sit on the
+  // wrong (or recycled) frame — undo and fall back. If it validates, the
+  // seq_cst handshake guarantees every mutator that subsequently locks
+  // the bucket sees this pin (see AcquireFrame).
+  page.pin_count_.fetch_add(1);
+  if (!page_table_.Validate(snap)) {
+    page.pin_count_.fetch_sub(1);
+    stats_.optimistic_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  // Pinned and validated: p -> snap.frame is stable until our unpin.
+  if (type == AccessType::kWrite) {
+    page.dirty_.store(true, std::memory_order_release);
+  }
+  if (frame_prefetched_[snap.frame].exchange(0, std::memory_order_relaxed) !=
+      0) {
+    stats_.prefetch_used.fetch_add(1, std::memory_order_relaxed);
+  }
+  stats_.hits.fetch_add(1, std::memory_order_relaxed);
+  stats_.optimistic_hits.fetch_add(1, std::memory_order_relaxed);
+  // Publish the reference after the pin, never under any latch. The pin
+  // keeps p resident until at least our own unpin; a record that outlives
+  // the page's residency anyway (late drain) is dropped by the
+  // skip-non-resident drain.
+  if (!access_buffer_->TryPush({p, /*process=*/0, type})) {
+    // Stripe full: the latched slow path — drain and apply directly,
+    // preserving FIFO order exactly as the latched hit branch does.
+    auto guard = Lock();
+    DrainAccessBufferLocked();
+    policy_->RecordAccess(p, type);
+  }
+  if (TickFlusher()) {
+    {
+      auto guard = Lock();
+      ++inflight_background_;
+    }
+    LaunchBackgroundWork({}, /*flusher_due=*/true);
+  }
+  return &page;
+}
+
 Result<Page*> BufferPool::FetchPage(PageId p, AccessType type) {
-  std::unique_lock<std::mutex> guard(latch_);
+  if (fast_path_) {
+    if (Page* page = TryOptimisticHit(p, type)) return page;
+  }
+  auto guard = Lock();
   // Whether this fetch has already been counted (a coalesced waiter counts
   // its miss when it starts waiting, then resolves through the hit branch
   // or the primary path below without recounting).
   bool counted = false;
   for (;;) {
-    auto it = page_table_.find(p);
-    if (it != page_table_.end()) {
-      Page& page = frames_[it->second];
+    FrameId f = 0;
+    if (page_table_.Find(p, &f)) {
+      Page& page = frames_[f];
       if (!counted) ++stats_.hits;
-      if (frame_prefetched_[it->second] != 0) {
-        frame_prefetched_[it->second] = 0;
+      if (frame_prefetched_[f].exchange(0, std::memory_order_relaxed) != 0) {
         ++stats_.prefetch_used;
       }
       if (access_buffer_ == nullptr) policy_->RecordAccess(p, type);
-      if (page.pin_count_ == 0) policy_->SetEvictable(p, false);
-      ++page.pin_count_;
-      if (type == AccessType::kWrite) page.dirty_ = true;
+      if (!optimistic_ &&
+          page.pin_count_.load(std::memory_order_relaxed) == 0) {
+        policy_->SetEvictable(p, false);
+      }
+      page.pin_count_.fetch_add(1);
+      if (type == AccessType::kWrite) {
+        page.dirty_.store(true, std::memory_order_release);
+      }
       std::vector<PageId> targets;
       bool flusher_due = false;
       if (io_ != nullptr) {
@@ -335,6 +548,7 @@ Result<Page*> BufferPool::FetchPage(PageId p, AccessType type) {
           // The stripe is full: drain under the latch and apply this
           // (newest) reference directly, preserving FIFO order.
           guard.lock();
+          CountLatchAcquire();
           DrainAccessBufferLocked();
           policy_->RecordAccess(p, type);
           guard.unlock();
@@ -396,6 +610,7 @@ Result<Page*> BufferPool::FetchPage(PageId p, AccessType type) {
           options_.io_retry, [&] { return disk_->ReadPage(p, page.Data()); });
     });
     guard.lock();
+    CountLatchAcquire();
     stats_.retries += outcome.retries;
     if (!outcome.status.ok()) ++stats_.read_failures;
     read = outcome.status;
@@ -411,12 +626,15 @@ Result<Page*> BufferPool::FetchPage(PageId p, AccessType type) {
     return read;
   }
   page.id_ = p;
-  page.pin_count_ = 1;
-  page.dirty_ = type == AccessType::kWrite;
-  page_table_.emplace(p, *frame);
-  frame_prefetched_[*frame] = 0;
+  // fetch_add, not a store: in optimistic mode a stale reader may be
+  // holding a transient speculative +1 on this frame (it will undo it
+  // after failing validation), and a blind store would erase that.
+  page.pin_count_.fetch_add(1);
+  page.dirty_.store(type == AccessType::kWrite, std::memory_order_relaxed);
+  page_table_.Insert(p, *frame);
+  frame_prefetched_[*frame].store(0, std::memory_order_relaxed);
   policy_->Admit(p, type);
-  policy_->SetEvictable(p, false);
+  if (!optimistic_) policy_->SetEvictable(p, false);
   std::vector<PageId> targets;
   bool flusher_due = false;
   if (io_ != nullptr) CollectBackgroundWorkLocked(p, &targets, &flusher_due);
@@ -426,7 +644,7 @@ Result<Page*> BufferPool::FetchPage(PageId p, AccessType type) {
 }
 
 Result<Page*> BufferPool::NewPage() {
-  std::unique_lock<std::mutex> guard(latch_);
+  auto guard = Lock();
   auto allocated = disk_->AllocatePage();
   if (!allocated.ok()) return allocated.status();
   PageId p = *allocated;
@@ -436,7 +654,7 @@ Result<Page*> BufferPool::NewPage() {
 }
 
 Result<Page*> BufferPool::AdmitNewPage(PageId p) {
-  std::unique_lock<std::mutex> guard(latch_);
+  auto guard = Lock();
   auto page = AdmitNewPageLocked(p);
   return page;
 }
@@ -462,50 +680,80 @@ Result<Page*> BufferPool::AdmitNewPageLocked(PageId p) {
   Page& page = frames_[*frame];
   page.ZeroFill();
   page.id_ = p;
-  page.pin_count_ = 1;
-  page.dirty_ = true;  // Must reach disk at least once.
-  page_table_.emplace(p, *frame);
-  frame_prefetched_[*frame] = 0;
+  page.pin_count_.fetch_add(1);  // Never a store; see FetchPage.
+  page.dirty_.store(true, std::memory_order_relaxed);  // Must reach disk
+                                                       // at least once.
+  page_table_.Insert(p, *frame);
+  frame_prefetched_[*frame].store(0, std::memory_order_relaxed);
   policy_->Admit(p, AccessType::kWrite);
-  policy_->SetEvictable(p, false);
+  if (!optimistic_) policy_->SetEvictable(p, false);
   return &page;
 }
 
 Status BufferPool::UnpinPage(PageId p, bool dirty) {
-  std::lock_guard<std::mutex> guard(latch_);
-  auto it = page_table_.find(p);
-  if (it == page_table_.end()) {
+  if (fast_path_) {
+    PageTable::Snapshot snap;
+    if (page_table_.OptimisticFind(p, &snap)) {
+      // The caller's own pin (its API obligation) keeps p resident, and a
+      // resident page never changes frames — so a consistent probe gives
+      // the right frame even if the bucket shifts afterwards. Order
+      // matters: set dirty BEFORE the decrement, so a mutator that sees
+      // pin == 0 under its bucket lock also sees the dirty bit.
+      Page& page = frames_[snap.frame];
+      int cur = page.pin_count_.load();
+      if (cur > 0) {
+        if (dirty) page.dirty_.store(true, std::memory_order_release);
+        while (cur > 0) {
+          if (page.pin_count_.compare_exchange_weak(cur, cur - 1)) {
+            return Status::Ok();
+          }
+          stats_.pin_cas_retries.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      // cur dropped to 0: unpin of an unpinned page (or a misuse race) —
+      // let the latched path produce the authoritative error.
+    }
+    // Probe failed (absent or unstable): latched path for the
+    // authoritative NotFound / InvalidArgument.
+  }
+  auto guard = Lock();
+  FrameId f = 0;
+  if (!page_table_.Find(p, &f)) {
     return Status::NotFound("unpin of non-resident page " + std::to_string(p));
   }
-  Page& page = frames_[it->second];
-  if (page.pin_count_ <= 0) {
+  Page& page = frames_[f];
+  if (page.pin_count_.load(std::memory_order_relaxed) <= 0) {
     return Status::InvalidArgument("unpin of unpinned page " +
                                    std::to_string(p));
   }
-  page.dirty_ = page.dirty_ || dirty;
-  --page.pin_count_;
-  if (page.pin_count_ == 0) policy_->SetEvictable(p, true);
+  if (dirty) page.dirty_.store(true, std::memory_order_release);
+  if (page.pin_count_.fetch_sub(1) == 1 && !optimistic_) {
+    policy_->SetEvictable(p, true);
+  }
   return Status::Ok();
 }
 
 Status BufferPool::FlushPage(PageId p) {
-  std::unique_lock<std::mutex> guard(latch_);
+  auto guard = Lock();
   FencePageLocked(guard, p);  // A read in flight may be admitting p.
   DrainAccessBufferLocked();
-  auto it = page_table_.find(p);
-  if (it == page_table_.end()) {
+  FrameId f = 0;
+  if (!page_table_.Find(p, &f)) {
     return Status::NotFound("flush of non-resident page " + std::to_string(p));
   }
-  Page& page = frames_[it->second];
+  Page& page = frames_[f];
   // On failure the dirty flag is untouched, so the write is retried by
   // the next flush or eviction rather than silently dropped.
+  // (Like the latched pool, an explicit flush may run while the caller —
+  // who requested it — still writes the pinned page; coordinating that is
+  // the caller's job, in both modes.)
   LRUK_RETURN_IF_ERROR(DiskWrite(p, page.Data()));
-  page.dirty_ = false;
+  page.dirty_.store(false, std::memory_order_relaxed);
   return Status::Ok();
 }
 
 Status BufferPool::FlushAll() {
-  std::unique_lock<std::mutex> guard(latch_);
+  auto guard = Lock();
   // Drain the dispatcher first: in-flight reads are landing in frame
   // buffers and queued background work may still dirty the picture; after
   // the quiesce this call sees a settled pool.
@@ -517,21 +765,21 @@ Status BufferPool::FlushAll() {
   // shadow the rest); report the first error. Failed pages keep their
   // dirty flag so a later FlushAll completes the job.
   Status first_error = Status::Ok();
-  for (const auto& [p, frame] : page_table_) {
+  page_table_.ForEach([&](PageId p, FrameId frame) {
     Page& page = frames_[frame];
-    if (!page.dirty_) continue;
+    if (!page.is_dirty()) return;
     Status written = DiskWrite(p, page.Data());
     if (written.ok()) {
-      page.dirty_ = false;
+      page.dirty_.store(false, std::memory_order_relaxed);
     } else if (first_error.ok()) {
       first_error = written;
     }
-  }
+  });
   return first_error;
 }
 
 Status BufferPool::DeletePage(PageId p) {
-  std::unique_lock<std::mutex> guard(latch_);
+  auto guard = Lock();
   // Fence in-flight reads of p: a prefetch that already left the queue
   // must finish (and admit its page) before the delete dismantles it —
   // otherwise its completion would resurrect a page the disk no longer
@@ -540,24 +788,50 @@ Status BufferPool::DeletePage(PageId p) {
   // Any buffered reference to p must reach the policy before Remove()
   // forgets the page (a post-Remove RecordAccess would fault). A record
   // not yet visible here implies its producer still pins p, in which case
-  // the delete fails below anyway.
+  // the delete fails below anyway. (In optimistic mode a reference can
+  // also be fully published and unpinned latch-free; a record that drains
+  // after the delete is dropped by the skip-non-resident drain.)
   DrainAccessBufferLocked();
-  auto it = page_table_.find(p);
-  if (it != page_table_.end() && frames_[it->second].pin_count_ > 0) {
+  FrameId f = 0;
+  bool resident = page_table_.Find(p, &f);
+  if (resident && !optimistic_ &&
+      frames_[f].pin_count_.load(std::memory_order_relaxed) > 0) {
     return Status::InvalidArgument("delete of pinned page " +
                                    std::to_string(p));
   }
+  size_t bucket = 0;
+  if (resident && optimistic_) {
+    // Bucket handshake before the pin check, exactly as in eviction: a
+    // concurrent latch-free pin is either visible here (delete refused —
+    // a transient speculative pin can cause a spurious refusal, which is
+    // inherent to deleting a page others may be fetching) or fails its
+    // validation.
+    bucket = page_table_.LockBucket(p);
+    if (frames_[f].pin_count_.load() != 0) {
+      page_table_.UnlockUnchanged(bucket);
+      return Status::InvalidArgument("delete of pinned page " +
+                                     std::to_string(p));
+    }
+  }
   // Deallocate on disk FIRST: if it fails, the pool (frame table, policy
   // history, dirty image) is untouched and the page is still usable.
-  LRUK_RETURN_IF_ERROR(disk_->DeallocatePage(p));
-  if (it != page_table_.end()) {
-    Page& page = frames_[it->second];
+  Status deallocated = disk_->DeallocatePage(p);
+  if (!deallocated.ok()) {
+    if (resident && optimistic_) page_table_.UnlockUnchanged(bucket);
+    return deallocated;
+  }
+  if (resident) {
+    Page& page = frames_[f];
     policy_->Remove(p);
-    free_frames_.push_back(it->second);
-    frame_prefetched_[it->second] = 0;
+    free_frames_.push_back(f);
+    frame_prefetched_[f].store(0, std::memory_order_relaxed);
     page.id_ = kInvalidPageId;
-    page.dirty_ = false;
-    page_table_.erase(it);
+    page.dirty_.store(false, std::memory_order_relaxed);
+    if (optimistic_) {
+      page_table_.UnlockErased(bucket);
+    } else {
+      page_table_.Erase(p);
+    }
   }
   return Status::Ok();
 }

@@ -8,23 +8,36 @@
 // never victims. A fetch when every frame is pinned fails with
 // RESOURCE_EXHAUSTED.
 //
-// Thread safety: all pool operations (and through them the policy and the
+// Thread safety: all pool MUTATIONS (and through them the policy and the
 // disk manager) are serialized by one internal latch — coarse-grained by
-// design, since the replacement *decision* is the subject of this library
-// and per-frame latching would obscure it. Page *contents* are accessed
-// outside the latch under the pin protocol: a pinned page cannot be
-// evicted, and Page pointers stay stable for the pool's lifetime, so
-// concurrent readers are safe; concurrent writers to the same page must
-// coordinate among themselves (as with per-page latches in a real DBMS).
-// For multi-core scaling, ShardedBufferPool composes several of these
-// pools behind the same PoolInterface, and BufferPoolOptions::
-// batch_capacity moves the policy-bookkeeping half of the hit path out
-// of the latch hold entirely (latch-free AccessBuffer, drained in
-// batches).
+// design, since the replacement *decision* is the subject of this library.
+// Page *contents* are accessed outside the latch under the pin protocol: a
+// pinned page cannot be evicted, and Page pointers stay stable for the
+// pool's lifetime, so concurrent readers are safe; concurrent writers to
+// the same page must coordinate among themselves (as with per-page latches
+// in a real DBMS). For multi-core scaling, ShardedBufferPool composes
+// several of these pools behind the same PoolInterface,
+// BufferPoolOptions::batch_capacity moves the policy-bookkeeping half of
+// the hit path out of the latch hold (latch-free AccessBuffer, drained in
+// batches), and BufferPoolOptions::optimistic_hits takes the latch off
+// warm hits and unpins entirely (see below).
+//
+// Optimistic hit protocol (DESIGN.md "Optimistic page table & pin
+// protocol"): with optimistic_hits on, a hit is — probe the version-
+// stamped PageTable without any lock, speculatively fetch_add the frame's
+// atomic pin count, re-validate the bucket version, publish the reference
+// to the AccessBuffer, go. Any instability falls back to the latched slow
+// path. The cross-cutting invariant every mutation path upholds: no frame
+// is evicted, flushed-while-unpinned, deleted, or reused for another page
+// without first bumping its page-table bucket version (PageTable::
+// LockBucket) and THEN re-checking the pin count — the seq_cst store-load
+// handshake that guarantees an optimistic reader either fails validation
+// or is seen by the mutator as pinned, never neither.
 
 #ifndef LRUK_BUFFERPOOL_BUFFER_POOL_H_
 #define LRUK_BUFFERPOOL_BUFFER_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -32,6 +45,7 @@
 #include <vector>
 
 #include "bufferpool/page.h"
+#include "bufferpool/page_table.h"
 #include "bufferpool/pool_interface.h"
 #include "core/access_buffer.h"
 #include "core/replacement_policy.h"
@@ -67,6 +81,22 @@ struct BufferPoolOptions {
   // see util/retry.h. The retry runs under the pool latch — size the
   // backoff accordingly (or leave `sleep` null for immediate re-issue).
   RetryOptions io_retry;
+
+  // Latch-free hit path (DESIGN.md "Optimistic page table & pin
+  // protocol"). Off (default): hits and unpins take the pool latch.
+  // On: warm hits and unpins run entirely without the latch (optimistic
+  // version-validated page-table probe + atomic pin counts), falling back
+  // to the latched path on any miss or instability. Implies batching:
+  // batch_capacity is bumped to 64 if left 0, because a latch-free hit
+  // can only publish its reference through the AccessBuffer. Replacement
+  // behaviour is byte-identical to the latched path single-threaded;
+  // concurrently, references to pages evicted before the next drain are
+  // dropped (bounded staleness, same contract as batching). On a
+  // non-sharded pool with readahead enabled, hits fall back to the
+  // latched path so the stride detector still observes them
+  // (ShardedBufferPool's pool-level detector is unaffected: its shards
+  // stay fully optimistic).
+  bool optimistic_hits = false;
 
   // --- Async I/O dispatcher (DESIGN.md "Async I/O dispatcher") ---
   // Master switch: miss reads execute through an IoDispatcher with the
@@ -131,24 +161,27 @@ class BufferPool final : public PoolInterface {
 
   size_t capacity() const override { return capacity_; }
   size_t ResidentCount() const override {
-    std::lock_guard<std::mutex> guard(latch_);
+    auto guard = Lock();
     return page_table_.size();
   }
   bool IsResident(PageId p) const override {
-    std::lock_guard<std::mutex> guard(latch_);
+    auto guard = Lock();
     return page_table_.contains(p);
   }
   BufferPoolStats stats() const override {
     // Observation points drain so the policy's view is current (and so a
     // caller inspecting the policy right after sees no pending records).
-    std::lock_guard<std::mutex> guard(latch_);
+    auto guard = Lock();
     DrainAccessBufferLocked();
-    return stats_;
+    return stats_.ToStats();
   }
+  // Lock-free counter snapshot (never blocks or is blocked by the hit
+  // path; pending access-buffer records stay pending).
+  BufferPoolStats StatsSnapshot() const override { return stats_.ToStats(); }
   void ResetStats() override {
-    std::lock_guard<std::mutex> guard(latch_);
+    auto guard = Lock();
     DrainAccessBufferLocked();
-    stats_ = BufferPoolStats{};
+    stats_.Reset();
   }
   ReplacementPolicy& policy() { return *policy_; }
   DiskManager& disk() { return *disk_; }
@@ -156,7 +189,7 @@ class BufferPool final : public PoolInterface {
   // Drain/push counters for the batching buffer; all-zero when batching is
   // disabled (batch_capacity == 0).
   AccessBufferStats access_buffer_stats() const {
-    std::lock_guard<std::mutex> guard(latch_);
+    auto guard = Lock();
     return access_buffer_ ? access_buffer_->stats() : AccessBufferStats{};
   }
 
@@ -183,12 +216,12 @@ class BufferPool final : public PoolInterface {
   void Quiesce();
   // In-flight tracked reads (misses + prefetches); 0 after Quiesce().
   size_t PendingIoCount() const {
-    std::lock_guard<std::mutex> guard(latch_);
+    auto guard = Lock();
     return pending_reads_.size();
   }
   // Frames on the free list (capacity == resident + pending + free).
   size_t FreeFrameCount() const {
-    std::lock_guard<std::mutex> guard(latch_);
+    auto guard = Lock();
     return free_frames_.size();
   }
 
@@ -207,6 +240,44 @@ class BufferPool final : public PoolInterface {
     std::condition_variable cv;
   };
 
+  // The pool's counters as relaxed atomics, so the latch-free hit path
+  // can count without the latch and StatsSnapshot can read without it.
+  // Individually exact; a snapshot is not an atomic cut across fields.
+  struct AtomicPoolStats {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> dirty_writebacks{0};
+    std::atomic<uint64_t> read_failures{0};
+    std::atomic<uint64_t> write_failures{0};
+    std::atomic<uint64_t> retries{0};
+    std::atomic<uint64_t> coalesced_reads{0};
+    std::atomic<uint64_t> prefetch_issued{0};
+    std::atomic<uint64_t> prefetch_used{0};
+    std::atomic<uint64_t> prefetch_dropped{0};
+    std::atomic<uint64_t> background_cleans{0};
+    std::atomic<uint64_t> optimistic_hits{0};
+    std::atomic<uint64_t> optimistic_fallbacks{0};
+    std::atomic<uint64_t> pin_cas_retries{0};
+    std::atomic<uint64_t> latch_acquires{0};
+
+    BufferPoolStats ToStats() const;
+    void Reset();
+  };
+
+  // Acquires the pool latch, counting the acquisition (the
+  // `latch_acquires` proxy asserted by the zero-mutex-on-hit test).
+  // Condition-variable re-acquisitions inside waits are not counted;
+  // explicit guard.lock() re-acquisitions count via CountLatchAcquire.
+  std::unique_lock<std::mutex> Lock() const {
+    std::unique_lock<std::mutex> guard(latch_);
+    stats_.latch_acquires.fetch_add(1, std::memory_order_relaxed);
+    return guard;
+  }
+  void CountLatchAcquire() const {
+    stats_.latch_acquires.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // Disk I/O under options_.io_retry, with the pool's failure/retry
   // accounting. Caller holds the latch.
   Status DiskRead(PageId p, char* out);
@@ -214,14 +285,35 @@ class BufferPool final : public PoolInterface {
   // Finds a frame for a new resident page: the free list first, then a
   // policy eviction (with dirty write-back). If the victim's write-back
   // fails, the eviction is rolled back (policy_->Restore) and the pool is
-  // left exactly as before the call.
+  // left exactly as before the call. In optimistic mode the policy may
+  // nominate pinned victims (SetEvictable is unused there — pin counts
+  // are ground truth); they are skipped under the bucket handshake and
+  // restored afterwards.
   Result<FrameId> AcquireFrame();
   // NewPage/AdmitNewPage body; the latch is already held.
   Result<Page*> AdmitNewPageLocked(PageId p);
-  // Applies every buffered access record to the policy. Caller holds the
-  // latch. Declared const because observation paths (stats) drain too;
-  // the mutation happens through the shallow-const member pointers.
+  // Applies every buffered access record to the policy (in optimistic
+  // mode, dropping records whose page was evicted since — see
+  // AccessBuffer::Drain). Caller holds the latch. Declared const because
+  // observation paths (stats) drain too; the mutation happens through the
+  // shallow-const member pointers.
   void DrainAccessBufferLocked() const;
+  // The latch-free hit attempt: optimistic probe, speculative pin,
+  // validate, count, publish. Returns the pinned page, or null on any
+  // miss/instability (caller falls back to the latched path). Never
+  // acquires the latch except to drain a full access-buffer stripe or to
+  // schedule a due flusher pass.
+  Page* TryOptimisticHit(PageId p, AccessType type);
+  // Bumps the fetch counter and reports whether a flusher pass is due
+  // (both hit paths share it so trigger points are mode-independent).
+  bool TickFlusher() {
+    if (!options_.flusher || io_ == nullptr) return false;
+    uint64_t every =
+        options_.flusher_every_ops == 0 ? 1 : options_.flusher_every_ops;
+    return (ops_since_flusher_.fetch_add(1, std::memory_order_relaxed) + 1) %
+               every ==
+           0;
+  }
 
   // --- Dispatcher internals (io_ != nullptr only) ---
   // Completes a tracked read: publishes status, erases the tracker entry,
@@ -253,6 +345,12 @@ class BufferPool final : public PoolInterface {
   DiskManager* disk_;
   std::unique_ptr<ReplacementPolicy> policy_;
   BufferPoolOptions options_;
+  // options_.optimistic_hits: mutation paths use the bucket handshake and
+  // SetEvictable is suppressed (pin counts are the ground truth).
+  bool optimistic_ = false;
+  // optimistic_ and no pool-level readahead detector to starve: FetchPage
+  // attempts TryOptimisticHit first.
+  bool fast_path_ = false;
   // Present iff options_.batch_capacity > 0.
   std::unique_ptr<AccessBuffer> access_buffer_;
   // Owned dispatcher (private to this pool); io_ points here or at the
@@ -264,20 +362,26 @@ class BufferPool final : public PoolInterface {
   // Scratch for ReadaheadDetector::Observe (latch-guarded, reused to
   // avoid a per-fetch allocation).
   std::vector<PageId> readahead_scratch_;
-  std::vector<Page> frames_;
+  // Frames live in a fixed array (Page is immovable now that its pin
+  // count and dirty flag are atomics).
+  std::unique_ptr<Page[]> frames_;
   std::vector<FrameId> free_frames_;
   // Per-frame "prefetched and not yet demand-referenced" flag, feeding
-  // prefetch_used.
-  std::vector<uint8_t> frame_prefetched_;
-  std::unordered_map<PageId, FrameId> page_table_;
+  // prefetch_used; atomic so the latch-free hit can consume it.
+  std::unique_ptr<std::atomic<uint8_t>[]> frame_prefetched_;
+  // The resident-page index; see page_table.h for the seqlock protocol.
+  PageTable page_table_;
   // The per-page request tracker: at most one in-flight read per page.
   std::unordered_map<PageId, std::shared_ptr<PendingIo>> pending_reads_;
   // Background work items (prefetches + scheduled flusher passes) issued
   // but not finished; Quiesce waits for 0 alongside pending_reads_.
   uint64_t inflight_background_ = 0;
   std::condition_variable quiesce_cv_;
-  uint64_t ops_since_flusher_ = 0;
-  BufferPoolStats stats_;
+  // Fetches since the last flusher trigger; atomic (modulo trigger, no
+  // reset) so latch-free hits pace the flusher identically to latched
+  // ones.
+  std::atomic<uint64_t> ops_since_flusher_{0};
+  mutable AtomicPoolStats stats_;
 };
 
 }  // namespace lruk

@@ -3,6 +3,7 @@
 #ifndef LRUK_BUFFERPOOL_PAGE_H_
 #define LRUK_BUFFERPOOL_PAGE_H_
 
+#include <atomic>
 #include <cstring>
 #include <memory>
 
@@ -17,16 +18,26 @@ class BufferPool;
 // One buffer slot. Lifetime and pinning are managed by BufferPool; user
 // code receives Page* from FetchPage/NewPage and must Unpin when done
 // (or hold a PageGuard, which does it automatically).
+//
+// pin_count_ and dirty_ are atomics because the optimistic hit path
+// (BufferPoolOptions::optimistic_hits) pins and dirties frames without
+// the pool latch. Two rules keep the counts exact:
+//  * pin_count_ is only ever modified with fetch_add/fetch_sub/CAS,
+//    never store() — a stale optimistic reader may hold a transient +1
+//    on any frame (undone after validation fails), and a blind store
+//    would erase it.
+//  * id_ stays a plain field: it is written only under the pool latch
+//    while the page-table bucket is locked (odd version), and the
+//    bucket-version validation orders those writes before any
+//    optimistic reader's access.
 class Page {
  public:
   Page() : data_(std::make_unique<char[]>(kPageSize)) {}
-  LRUK_DISALLOW_COPY(Page);
-  Page(Page&&) = default;
-  Page& operator=(Page&&) = default;
+  LRUK_DISALLOW_COPY_AND_MOVE(Page);
 
   PageId id() const { return id_; }
-  int pin_count() const { return pin_count_; }
-  bool is_dirty() const { return dirty_; }
+  int pin_count() const { return pin_count_.load(std::memory_order_relaxed); }
+  bool is_dirty() const { return dirty_.load(std::memory_order_relaxed); }
 
   char* Data() { return data_.get(); }
   const char* Data() const { return data_.get(); }
@@ -51,8 +62,8 @@ class Page {
 
   std::unique_ptr<char[]> data_;
   PageId id_ = kInvalidPageId;
-  int pin_count_ = 0;
-  bool dirty_ = false;
+  std::atomic<int> pin_count_{0};
+  std::atomic<bool> dirty_{false};
 };
 
 }  // namespace lruk

@@ -39,6 +39,19 @@ namespace lruk {
 // callers). `background_cleans` counts flusher write-backs that cleaned a
 // dirty page ahead of eviction (they are not `dirty_writebacks`, which
 // stay eviction-time only).
+//
+// Optimistic-path counters (all zero unless BufferPoolOptions::
+// optimistic_hits is on — see DESIGN.md "Optimistic page table & pin
+// protocol"): `optimistic_hits` counts hits served entirely without the
+// pool latch; they are also counted in `hits`. `optimistic_fallbacks`
+// counts optimistic attempts that pinned speculatively but failed bucket
+// validation and retried on the latched path (probe misses and unstable
+// buckets fall back silently without counting). `pin_cas_retries` counts
+// failed compare-exchange iterations in latch-free unpins — a contention
+// proxy. `latch_acquires` counts acquisitions of the pool mutex (per
+// shard, summed); it is a proxy, not a lock census: condition-variable
+// re-acquisitions inside waits are not counted. With optimistic_hits on,
+// a warm hit+unpin pair performs zero latch acquisitions.
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -52,6 +65,10 @@ struct BufferPoolStats {
   uint64_t prefetch_used = 0;
   uint64_t prefetch_dropped = 0;
   uint64_t background_cleans = 0;
+  uint64_t optimistic_hits = 0;
+  uint64_t optimistic_fallbacks = 0;
+  uint64_t pin_cas_retries = 0;
+  uint64_t latch_acquires = 0;
 
   double HitRatio() const {
     uint64_t total = hits + misses;
@@ -72,6 +89,10 @@ struct BufferPoolStats {
     prefetch_used += other.prefetch_used;
     prefetch_dropped += other.prefetch_dropped;
     background_cleans += other.background_cleans;
+    optimistic_hits += other.optimistic_hits;
+    optimistic_fallbacks += other.optimistic_fallbacks;
+    pin_cas_retries += other.pin_cas_retries;
+    latch_acquires += other.latch_acquires;
     return *this;
   }
 };
@@ -119,7 +140,15 @@ class PoolInterface {
   virtual bool IsResident(PageId p) const = 0;
 
   // Aggregate counters (summed across shards for a sharded pool).
+  // Drains pending access-buffer records first so the returned counters
+  // reflect every completed operation — which takes the pool latch.
   virtual BufferPoolStats stats() const = 0;
+
+  // Lock-free counter snapshot: reads the atomic counters without taking
+  // any latch or draining buffered records, so observation never blocks
+  // the hit path. Counters are individually exact but the snapshot is not
+  // an atomic cut across them under concurrency.
+  virtual BufferPoolStats StatsSnapshot() const { return stats(); }
 
   virtual void ResetStats() = 0;
 };

@@ -162,6 +162,12 @@ BufferPoolStats ShardedBufferPool::stats() const {
   return total;
 }
 
+BufferPoolStats ShardedBufferPool::StatsSnapshot() const {
+  BufferPoolStats total;
+  for (const auto& shard : shards_) total += shard->StatsSnapshot();
+  return total;
+}
+
 void ShardedBufferPool::ResetStats() {
   for (auto& shard : shards_) shard->ResetStats();
 }

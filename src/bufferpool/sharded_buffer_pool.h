@@ -66,7 +66,10 @@ class ShardedBufferPool final : public PoolInterface {
   // `shard_options` is applied to every shard; batch_capacity > 0 turns
   // on batched access recording per shard (each shard drains its own
   // AccessBuffer under its own latch — see DESIGN.md "Batched access
-  // recording").
+  // recording"). optimistic_hits makes every shard's warm hits and unpins
+  // latch-free (the pool-level readahead detector still observes the full
+  // fetch stream here, above the shards, so readahead and the optimistic
+  // fast path compose).
   ShardedBufferPool(size_t capacity, size_t num_shards, DiskManager* disk,
                     ShardPolicyFactory factory,
                     BufferPoolOptions shard_options = {});
@@ -85,6 +88,9 @@ class ShardedBufferPool final : public PoolInterface {
 
   // Aggregate counters: the sum of every shard's stats.
   BufferPoolStats stats() const override;
+  // Lock-free aggregate snapshot: sums every shard's atomic counters
+  // without taking any shard latch or draining buffered records.
+  BufferPoolStats StatsSnapshot() const override;
   void ResetStats() override;
 
   // --- Sharding observability ---

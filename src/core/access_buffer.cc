@@ -67,7 +67,7 @@ bool AccessBuffer::TryPush(const AccessRecord& record) {
   return true;
 }
 
-size_t AccessBuffer::Drain(ReplacementPolicy& policy) {
+size_t AccessBuffer::Drain(ReplacementPolicy& policy, bool skip_non_resident) {
   size_t applied = 0;
   ++drain_stats_.drains;
   for (auto& owned : stripes_) {
@@ -90,6 +90,14 @@ size_t AccessBuffer::Drain(ReplacementPolicy& policy) {
       ++ticket;
     }
     stripe.head.store(ticket, std::memory_order_relaxed);
+    if (skip_non_resident) {
+      // Compact in place, preserving FIFO order of the survivors.
+      size_t kept = 0;
+      for (const AccessRecord& r : scratch_) {
+        if (policy.IsResident(r.page)) scratch_[kept++] = r;
+      }
+      scratch_.resize(kept);
+    }
     if (!scratch_.empty()) {
       policy.RecordAccessBatch(scratch_.data(), scratch_.size());
       applied += scratch_.size();

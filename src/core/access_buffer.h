@@ -91,7 +91,17 @@ class AccessBuffer {
   // (via RecordAccessBatch) and returns how many were applied. Caller must
   // hold the latch that serializes policy access: the drain is
   // single-consumer, while concurrent TryPush calls remain safe.
-  size_t Drain(ReplacementPolicy& policy);
+  //
+  // With `skip_non_resident` set, records whose page is no longer resident
+  // in `policy` are dropped instead of applied. The latch-free hit path
+  // (BufferPoolOptions::optimistic_hits) needs this: a pin + publish +
+  // unpin can complete entirely without the pool latch, so by the time a
+  // drain runs the page may already have been evicted — the record is then
+  // bounded staleness the batching contract already permits, not a
+  // reference the policy can still apply. Latched pools keep the default:
+  // there the pin invariant guarantees residency, and an assert firing
+  // means a real bug.
+  size_t Drain(ReplacementPolicy& policy, bool skip_non_resident = false);
 
   // Per-stripe record count at which TryPush refuses (the configured
   // capacity; the physical ring may be one power-of-two larger).

@@ -1,0 +1,598 @@
+// The optimistic hit path (BufferPoolOptions::optimistic_hits),
+// deterministic half (the threaded half lives in
+// optimistic_concurrency_test.cc).
+//
+// Coverage layers:
+//  * PageTable units — insert/find/erase round-trips against a reference
+//    map under heavy id reuse (backward-shift clusters), version growth,
+//    LockBucket forcing optimistic readers to fall back, UnlockErased
+//    removing the mapping, OptimisticFind/Validate agreeing with the
+//    latched surface when nothing is mutating.
+//  * Differential battery — with optimistic_hits ON, both pools produce
+//    BYTE-IDENTICAL single-threaded behaviour to the latched path over the
+//    same 20k-op mixed workload async_io_test.cc uses: same counters, same
+//    victim sequence, same IoStats, same residency, same disk images —
+//    with the async stack (inline dispatcher + flusher) off and on, and
+//    with the auto-bumped default batch_capacity.
+//  * Zero-mutex hit — a warm optimistic fetch/unpin pair acquires the pool
+//    latch ZERO times, asserted via the latch_acquires counter.
+//  * Readahead interaction — a non-sharded pool with a readahead detector
+//    falls back to the latched path (optimistic_hits == 0) and stays
+//    byte-identical, so the stride detector never goes blind.
+//  * StatsSnapshot — the lock-free snapshot equals the draining stats()
+//    when the pool is quiescent.
+//  * Error paths — optimistic UnpinPage/DeletePage report the same status
+//    codes as the latched pool (NotFound, InvalidArgument), pinned pages
+//    are never victims (pin counts as ground truth), ResourceExhausted
+//    when every frame is pinned, and id reuse after delete works.
+
+#include <cstring>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bufferpool/buffer_pool.h"
+#include "bufferpool/page_table.h"
+#include "bufferpool/sharded_buffer_pool.h"
+#include "core/lru_k.h"
+#include "gtest/gtest.h"
+#include "storage/sim_disk_manager.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace lruk {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PageTable units.
+
+TEST(OptimisticPageTableTest, InsertFindEraseRoundTrip) {
+  PageTable table(16);
+  EXPECT_GE(table.bucket_count(), 32u);  // Load factor <= 1/2.
+  EXPECT_EQ(table.size(), 0u);
+
+  for (PageId p = 0; p < 16; ++p) table.Insert(p, static_cast<FrameId>(p * 7));
+  EXPECT_EQ(table.size(), 16u);
+  for (PageId p = 0; p < 16; ++p) {
+    FrameId frame = kInvalidFrameId;
+    ASSERT_TRUE(table.Find(p, &frame));
+    EXPECT_EQ(frame, static_cast<FrameId>(p * 7));
+    EXPECT_TRUE(table.contains(p));
+  }
+  FrameId frame = kInvalidFrameId;
+  EXPECT_FALSE(table.Find(99, &frame));
+  EXPECT_FALSE(table.contains(99));
+
+  for (PageId p = 0; p < 16; p += 2) table.Erase(p);
+  EXPECT_EQ(table.size(), 8u);
+  for (PageId p = 0; p < 16; ++p) {
+    EXPECT_EQ(table.contains(p), p % 2 == 1) << "page " << p;
+  }
+}
+
+// Backward-shift deletion against a reference map: a small table under
+// heavy id reuse keeps probe clusters dense, so erases constantly relocate
+// entries. Every surviving mapping must stay findable — by the latched
+// probe AND by the optimistic one (single-threaded, a stable table must
+// always yield consistent snapshots that validate).
+TEST(OptimisticPageTableTest, BackwardShiftChurnMatchesReferenceMap) {
+  constexpr size_t kCapacity = 12;
+  PageTable table(kCapacity);
+  std::unordered_map<PageId, FrameId> reference;
+  RandomEngine rng(/*seed=*/20260809);
+
+  for (int step = 0; step < 4000; ++step) {
+    bool insert = reference.size() < kCapacity &&
+                  (reference.empty() || rng.NextBernoulli(0.5));
+    if (insert) {
+      PageId p = rng.NextBounded(64);  // Narrow id range: reuse + clustering.
+      if (reference.contains(p)) continue;
+      FrameId frame = static_cast<FrameId>(rng.NextBounded(kCapacity));
+      table.Insert(p, frame);
+      reference[p] = frame;
+    } else {
+      size_t skip = rng.NextBounded(reference.size());
+      auto it = reference.begin();
+      std::advance(it, skip);
+      table.Erase(it->first);
+      reference.erase(it);
+    }
+    ASSERT_EQ(table.size(), reference.size());
+    for (const auto& [p, frame] : reference) {
+      FrameId found = kInvalidFrameId;
+      ASSERT_TRUE(table.Find(p, &found)) << "page " << p;
+      ASSERT_EQ(found, frame);
+      PageTable::Snapshot snap;
+      ASSERT_TRUE(table.OptimisticFind(p, &snap)) << "page " << p;
+      ASSERT_EQ(snap.frame, frame);
+      ASSERT_TRUE(table.Validate(snap));
+      ASSERT_EQ(snap.version % 2, 0u);  // Stable buckets are always even.
+    }
+  }
+}
+
+TEST(OptimisticPageTableTest, LockBucketForcesOptimisticFallback) {
+  PageTable table(8);
+  table.Insert(5, 3);
+  PageTable::Snapshot before;
+  ASSERT_TRUE(table.OptimisticFind(5, &before));
+  EXPECT_EQ(before.frame, 3u);
+
+  size_t bucket = table.LockBucket(5);
+  EXPECT_EQ(bucket, before.bucket);
+  // Locked (odd) bucket: no optimistic reader may claim a hit, and a pin
+  // taken against the old snapshot must fail validation.
+  PageTable::Snapshot during;
+  EXPECT_FALSE(table.OptimisticFind(5, &during));
+  EXPECT_FALSE(table.Validate(before));
+
+  table.UnlockUnchanged(bucket);
+  // Mapping intact, but the version moved on: old snapshots stay dead.
+  FrameId frame = kInvalidFrameId;
+  ASSERT_TRUE(table.Find(5, &frame));
+  EXPECT_EQ(frame, 3u);
+  EXPECT_FALSE(table.Validate(before));
+  PageTable::Snapshot after;
+  ASSERT_TRUE(table.OptimisticFind(5, &after));
+  EXPECT_GT(after.version, before.version);  // Versions only grow.
+  EXPECT_TRUE(table.Validate(after));
+}
+
+TEST(OptimisticPageTableTest, UnlockErasedRemovesTheMapping) {
+  PageTable table(8);
+  for (PageId p = 0; p < 8; ++p) table.Insert(p, static_cast<FrameId>(p));
+  PageTable::Snapshot snap;
+  ASSERT_TRUE(table.OptimisticFind(2, &snap));
+
+  size_t bucket = table.LockBucket(2);
+  table.UnlockErased(bucket);
+  EXPECT_FALSE(table.contains(2));
+  EXPECT_EQ(table.size(), 7u);
+  EXPECT_FALSE(table.Validate(snap));
+  // The backward shift left every other mapping findable.
+  for (PageId p = 0; p < 8; ++p) {
+    if (p == 2) continue;
+    FrameId frame = kInvalidFrameId;
+    ASSERT_TRUE(table.Find(p, &frame)) << "page " << p;
+    EXPECT_EQ(frame, static_cast<FrameId>(p));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential battery: optimistic_hits vs the latched path —
+// byte-identical single-threaded. Workload and harness mirror
+// async_io_test.cc's (duplicated to keep the test binaries standalone).
+
+void ExpectLegacyStatsEq(const BufferPoolStats& a, const BufferPoolStats& b) {
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.dirty_writebacks, b.dirty_writebacks);
+  EXPECT_EQ(a.read_failures, b.read_failures);
+  EXPECT_EQ(a.write_failures, b.write_failures);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.coalesced_reads, b.coalesced_reads);
+  EXPECT_EQ(a.prefetch_issued, b.prefetch_issued);
+  EXPECT_EQ(a.prefetch_used, b.prefetch_used);
+  EXPECT_EQ(a.prefetch_dropped, b.prefetch_dropped);
+  EXPECT_EQ(a.background_cleans, b.background_cleans);
+}
+
+void ExpectIoStatsEq(const IoStats& a, const IoStats& b) {
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_EQ(a.allocations, b.allocations);
+  EXPECT_EQ(a.deallocations, b.deallocations);
+  EXPECT_EQ(a.read_failures, b.read_failures);
+  EXPECT_EQ(a.write_failures, b.write_failures);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_DOUBLE_EQ(a.simulated_micros, b.simulated_micros);
+}
+
+std::vector<PageId> AllocateDb(PoolInterface& pool, uint64_t n) {
+  std::vector<PageId> pages;
+  for (uint64_t i = 0; i < n; ++i) {
+    auto page = pool.NewPage();
+    EXPECT_TRUE(page.ok());
+    pages.push_back((*page)->id());
+    EXPECT_TRUE(pool.UnpinPage((*page)->id(), true).ok());
+  }
+  return pages;
+}
+
+// Forwarding LRU-K wrapper recording the surviving eviction sequence
+// (Restore pops its eviction — eviction skips and flusher peeks cancel
+// out exactly, so what remains is the true victim order).
+class RecordingLruK final : public ReplacementPolicy {
+ public:
+  explicit RecordingLruK(LruKOptions options) : inner_(options) {}
+
+  void SetReferencingProcess(uint32_t process) override {
+    inner_.SetReferencingProcess(process);
+  }
+  void PrepareAdmit(PageId p) override { inner_.PrepareAdmit(p); }
+  void RecordAccess(PageId p, AccessType type) override {
+    inner_.RecordAccess(p, type);
+  }
+  void RecordAccessBatch(const AccessRecord* records, size_t n) override {
+    inner_.RecordAccessBatch(records, n);
+  }
+  void Admit(PageId p, AccessType type) override { inner_.Admit(p, type); }
+  std::optional<PageId> Evict() override {
+    auto victim = inner_.Evict();
+    if (victim.has_value()) evictions_.push_back(*victim);
+    return victim;
+  }
+  void Restore(PageId p) override {
+    ASSERT_FALSE(evictions_.empty());
+    ASSERT_EQ(evictions_.back(), p);  // LIFO: most recent Evict first.
+    evictions_.pop_back();
+    inner_.Restore(p);
+  }
+  void Remove(PageId p) override { inner_.Remove(p); }
+  void SetEvictable(PageId p, bool evictable) override {
+    inner_.SetEvictable(p, evictable);
+  }
+  size_t ResidentCount() const override { return inner_.ResidentCount(); }
+  size_t EvictableCount() const override { return inner_.EvictableCount(); }
+  bool IsResident(PageId p) const override { return inner_.IsResident(p); }
+  void ForEachResident(
+      const std::function<void(PageId)>& visit) const override {
+    inner_.ForEachResident(visit);
+  }
+  std::string_view Name() const override { return inner_.Name(); }
+
+  const std::vector<PageId>& evictions() const { return evictions_; }
+
+ private:
+  LruKPolicy inner_;
+  std::vector<PageId> evictions_;
+};
+
+struct ScenarioResult {
+  BufferPoolStats stats;
+  IoStats io;
+  std::vector<std::vector<PageId>> evictions;
+  std::vector<bool> residency;
+  std::vector<std::string> images;
+};
+
+constexpr uint64_t kDiffDbPages = 96;
+constexpr size_t kDiffCapacity = 24;
+constexpr int kDiffOps = 20000;
+
+// The same mixed deterministic workload as async_io_test.cc: skewed
+// fetches, 25% writes, periodic FlushPage, periodic DeletePage + NewPage
+// (id churn through the allocator's free list).
+void DriveMixedWorkload(PoolInterface& pool, std::vector<PageId>& pages) {
+  RecursiveSkewDistribution dist(0.8, 0.2, pages.size());
+  RandomEngine rng(/*seed=*/20260809);
+  for (int i = 0; i < kDiffOps; ++i) {
+    size_t idx = dist.Sample(rng) - 1;
+    PageId p = pages[idx];
+    bool write = rng.NextBernoulli(0.25);
+    auto page =
+        pool.FetchPage(p, write ? AccessType::kWrite : AccessType::kRead);
+    ASSERT_TRUE(page.ok()) << "op " << i;
+    if (write) {
+      std::memcpy((*page)->Data(), &i, sizeof(i));
+    }
+    ASSERT_TRUE(pool.UnpinPage(p, write).ok()) << "op " << i;
+    if (i % 1009 == 0) ASSERT_TRUE(pool.FlushPage(p).ok());
+    if (i % 501 == 250) {
+      ASSERT_TRUE(pool.DeletePage(p).ok()) << "op " << i;
+      auto fresh = pool.NewPage();
+      ASSERT_TRUE(fresh.ok());
+      pages[idx] = (*fresh)->id();
+      ASSERT_TRUE(pool.UnpinPage((*fresh)->id(), true).ok());
+    }
+  }
+  ASSERT_TRUE(pool.FlushAll().ok());
+}
+
+struct ScenarioConfig {
+  bool sharded = false;
+  bool optimistic = false;
+  size_t batch_capacity = 64;
+  bool async_stack = false;  // Inline dispatcher + background flusher.
+  bool readahead = false;    // Implies the dispatcher (inline).
+};
+
+ScenarioResult RunScenario(const ScenarioConfig& config) {
+  SimDiskManager disk;
+  BufferPoolOptions options;
+  options.batch_capacity = config.batch_capacity;
+  options.optimistic_hits = config.optimistic;
+  if (config.async_stack) {
+    options.io_dispatcher = true;  // Inline: io_workers = 0.
+    options.flusher = true;
+    options.flusher_every_ops = 32;
+    options.flusher_batch = 4;
+  }
+  if (config.readahead) {
+    options.io_dispatcher = true;
+    options.readahead = {.enabled = true, .window = 4, .min_run = 3};
+  }
+
+  ScenarioResult result;
+  std::vector<PageId> pages;
+  if (!config.sharded) {
+    auto policy = std::make_unique<RecordingLruK>(LruKOptions{.k = 2});
+    RecordingLruK* recorder = policy.get();
+    BufferPool pool(kDiffCapacity, &disk, std::move(policy), options);
+    pages = AllocateDb(pool, kDiffDbPages);
+    DriveMixedWorkload(pool, pages);
+    result.stats = pool.stats();
+    result.evictions.push_back(recorder->evictions());
+    for (PageId p : pages) result.residency.push_back(pool.IsResident(p));
+  } else {
+    std::vector<RecordingLruK*> recorders(4, nullptr);
+    ShardedBufferPool pool(
+        kDiffCapacity, /*num_shards=*/4, &disk,
+        [&](size_t shard, size_t) {
+          auto policy = std::make_unique<RecordingLruK>(LruKOptions{.k = 2});
+          recorders[shard] = policy.get();
+          return policy;
+        },
+        options);
+    pages = AllocateDb(pool, kDiffDbPages);
+    DriveMixedWorkload(pool, pages);
+    result.stats = pool.stats();
+    for (RecordingLruK* r : recorders) {
+      result.evictions.push_back(r->evictions());
+    }
+    for (PageId p : pages) result.residency.push_back(pool.IsResident(p));
+  }
+  result.io = disk.stats();
+  char buf[kPageSize];
+  for (PageId p : pages) {
+    EXPECT_TRUE(disk.ReadPage(p, buf).ok());
+    result.images.emplace_back(buf, kPageSize);
+  }
+  return result;
+}
+
+void ExpectScenarioEq(const ScenarioResult& a, const ScenarioResult& b) {
+  ExpectLegacyStatsEq(a.stats, b.stats);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_EQ(a.residency, b.residency);
+  EXPECT_EQ(a.images, b.images);
+  ExpectIoStatsEq(a.io, b.io);
+}
+
+TEST(OptimisticDifferentialTest, MatchesLatchedPathPlainPool) {
+  ScenarioResult latched = RunScenario({.optimistic = false});
+  ScenarioResult optimistic = RunScenario({.optimistic = true});
+  ExpectScenarioEq(latched, optimistic);
+  // The fast path actually ran (warm hits dominate a skewed workload) and
+  // never misfired: single-threaded, nothing invalidates a probe
+  // mid-flight, so there are no fallbacks after a speculative pin.
+  EXPECT_GT(optimistic.stats.optimistic_hits, 0u);
+  EXPECT_EQ(optimistic.stats.optimistic_fallbacks, 0u);
+  EXPECT_EQ(optimistic.stats.pin_cas_retries, 0u);
+  EXPECT_EQ(latched.stats.optimistic_hits, 0u);
+  // Latch-free hits show up as the acquisition gap between the modes.
+  EXPECT_LT(optimistic.stats.latch_acquires, latched.stats.latch_acquires);
+}
+
+TEST(OptimisticDifferentialTest, MatchesLatchedPathShardedPool) {
+  ScenarioResult latched = RunScenario({.sharded = true, .optimistic = false});
+  ScenarioResult optimistic =
+      RunScenario({.sharded = true, .optimistic = true});
+  ExpectScenarioEq(latched, optimistic);
+  EXPECT_GT(optimistic.stats.optimistic_hits, 0u);
+}
+
+TEST(OptimisticDifferentialTest, MatchesLatchedPathUnderAsyncStack) {
+  // Inline dispatcher + background flusher: the optimistic flusher pass
+  // (pop-until-batch-unpinned + bucket-locked write-back) must peek the
+  // same victims and clean the same pages as the latched one.
+  for (bool sharded : {false, true}) {
+    SCOPED_TRACE(sharded ? "sharded" : "plain");
+    ScenarioResult latched =
+        RunScenario({.sharded = sharded, .optimistic = false,
+                     .async_stack = true});
+    ScenarioResult optimistic =
+        RunScenario({.sharded = sharded, .optimistic = true,
+                     .async_stack = true});
+    ExpectScenarioEq(latched, optimistic);
+    EXPECT_GT(optimistic.stats.optimistic_hits, 0u);
+    EXPECT_GT(optimistic.stats.background_cleans, 0u);
+  }
+}
+
+TEST(OptimisticDifferentialTest, DefaultBatchAutoBumpMatchesExplicit) {
+  // optimistic_hits with batch_capacity left 0 implies batch_capacity 64
+  // (a latch-free hit can only publish through the AccessBuffer).
+  ScenarioResult defaulted =
+      RunScenario({.optimistic = true, .batch_capacity = 0});
+  ScenarioResult explicit_batch =
+      RunScenario({.optimistic = true, .batch_capacity = 64});
+  ExpectScenarioEq(defaulted, explicit_batch);
+
+  SimDiskManager disk;
+  BufferPoolOptions options;
+  options.optimistic_hits = true;
+  BufferPool pool(8, &disk, std::make_unique<LruKPolicy>(LruKOptions{.k = 2}),
+                  options);
+  EXPECT_EQ(pool.options().batch_capacity, 64u);
+}
+
+TEST(OptimisticDifferentialTest, ReadaheadPoolFallsBackAndStaysIdentical) {
+  // A non-sharded pool with a readahead detector is ineligible for the
+  // fast path (the detector must observe every fetch), so optimistic mode
+  // degrades to the latched path — still byte-identical, zero optimistic
+  // hits, and the detector still prefetches.
+  ScenarioResult latched =
+      RunScenario({.optimistic = false, .readahead = true});
+  ScenarioResult optimistic =
+      RunScenario({.optimistic = true, .readahead = true});
+  ExpectScenarioEq(latched, optimistic);
+  EXPECT_EQ(optimistic.stats.optimistic_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The zero-mutex hit: the acceptance criterion of the optimistic path.
+
+TEST(OptimisticHitPathTest, WarmHitAcquiresNoLatch) {
+  constexpr size_t kPages = 64;
+  SimDiskManager disk;
+  BufferPoolOptions options;
+  options.optimistic_hits = true;
+  // Room for every record this loop publishes, so no drain is triggered.
+  options.batch_capacity = 256;
+  BufferPool pool(128, &disk,
+                  std::make_unique<LruKPolicy>(LruKOptions{.k = 2}), options);
+  std::vector<PageId> pages = AllocateDb(pool, kPages);
+
+  // Everything resident (capacity > kPages): from here on, every fetch is
+  // a warm hit and every unpin balances a latch-free pin.
+  BufferPoolStats before = pool.StatsSnapshot();
+  for (PageId p : pages) {
+    auto page = pool.FetchPage(p, AccessType::kRead);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ((*page)->id(), p);
+    ASSERT_TRUE(pool.UnpinPage(p, false).ok());
+  }
+  BufferPoolStats after = pool.StatsSnapshot();
+
+  // ZERO pool-latch acquisitions across 64 fetch/unpin pairs.
+  EXPECT_EQ(after.latch_acquires, before.latch_acquires);
+  EXPECT_EQ(after.optimistic_hits - before.optimistic_hits, kPages);
+  EXPECT_EQ(after.hits - before.hits, kPages);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.optimistic_fallbacks, before.optimistic_fallbacks);
+
+  // The buffered references land in the policy at the next drain point.
+  (void)pool.stats();
+  EXPECT_EQ(pool.policy().ResidentCount(), kPages);
+}
+
+TEST(OptimisticHitPathTest, StatsSnapshotMatchesStatsWhenQuiescent) {
+  SimDiskManager disk;
+  BufferPoolOptions options;
+  options.optimistic_hits = true;
+  BufferPool pool(16, &disk,
+                  std::make_unique<LruKPolicy>(LruKOptions{.k = 2}), options);
+  std::vector<PageId> pages = AllocateDb(pool, 48);
+  RecursiveSkewDistribution dist(0.8, 0.2, pages.size());
+  RandomEngine rng(/*seed=*/11);
+  for (int i = 0; i < 2000; ++i) {
+    PageId p = pages[dist.Sample(rng) - 1];
+    bool write = rng.NextBernoulli(0.25);
+    auto page =
+        pool.FetchPage(p, write ? AccessType::kWrite : AccessType::kRead);
+    ASSERT_TRUE(page.ok());
+    ASSERT_TRUE(pool.UnpinPage(p, write).ok());
+  }
+
+  // Quiescent pool: the lock-free snapshot and the draining stats() agree
+  // on every counter. stats() itself takes the latch once, which is the
+  // only drift the proxy counter may show.
+  BufferPoolStats snap = pool.StatsSnapshot();
+  BufferPoolStats full = pool.stats();
+  ExpectLegacyStatsEq(snap, full);
+  EXPECT_EQ(snap.optimistic_hits, full.optimistic_hits);
+  EXPECT_EQ(snap.optimistic_fallbacks, full.optimistic_fallbacks);
+  EXPECT_EQ(snap.pin_cas_retries, full.pin_cas_retries);
+  EXPECT_EQ(full.latch_acquires, snap.latch_acquires + 1);
+  EXPECT_GT(snap.optimistic_hits, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Error paths and the pin protocol.
+
+TEST(OptimisticHitPathTest, UnpinErrorsMatchLatchedCodes) {
+  SimDiskManager latched_disk;
+  SimDiskManager optimistic_disk;
+  BufferPoolOptions optimistic_options;
+  optimistic_options.optimistic_hits = true;
+  BufferPool latched(4, &latched_disk,
+                     std::make_unique<LruKPolicy>(LruKOptions{.k = 2}));
+  BufferPool optimistic(4, &optimistic_disk,
+                        std::make_unique<LruKPolicy>(LruKOptions{.k = 2}),
+                        optimistic_options);
+
+  for (BufferPool* pool : {&latched, &optimistic}) {
+    std::vector<PageId> pages = AllocateDb(*pool, 2);
+    // Non-resident page: NotFound through both paths.
+    EXPECT_EQ(pool->UnpinPage(999, false).code(), StatusCode::kNotFound);
+    // Resident but unpinned: InvalidArgument through both paths (the
+    // optimistic probe sees pin == 0 and defers to the latched path for
+    // the authoritative error).
+    EXPECT_EQ(pool->UnpinPage(pages[0], false).code(),
+              StatusCode::kInvalidArgument);
+    // Balanced unpin still works afterwards.
+    auto page = pool->FetchPage(pages[0]);
+    ASSERT_TRUE(page.ok());
+    EXPECT_TRUE(pool->UnpinPage(pages[0], false).ok());
+  }
+}
+
+TEST(OptimisticHitPathTest, PinCountsAreEvictionGroundTruth) {
+  // In optimistic mode SetEvictable is never used — AcquireFrame trusts
+  // the atomic pin counts. Pinned pages must survive eviction pressure
+  // and exhaust the pool exactly like the latched mode.
+  SimDiskManager disk;
+  BufferPoolOptions options;
+  options.optimistic_hits = true;
+  BufferPool pool(4, &disk,
+                  std::make_unique<LruKPolicy>(LruKOptions{.k = 2}), options);
+  std::vector<PageId> pages = AllocateDb(pool, 8);
+
+  std::vector<Page*> pinned;
+  for (size_t i = 0; i < 4; ++i) {
+    auto page = pool.FetchPage(pages[i]);
+    ASSERT_TRUE(page.ok());
+    pinned.push_back(*page);
+  }
+  // Every frame pinned: the next distinct fetch finds no victim.
+  auto exhausted = pool.FetchPage(pages[7]);
+  ASSERT_FALSE(exhausted.ok());
+  EXPECT_EQ(exhausted.status().code(), StatusCode::kResourceExhausted);
+  // The pinned pages were untouched by the failed eviction hunt.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(pool.IsResident(pages[i]));
+    EXPECT_EQ(pinned[i]->pin_count(), 1);
+  }
+  // Releasing one pin re-enables eviction.
+  ASSERT_TRUE(pool.UnpinPage(pages[0], false).ok());
+  auto fetched = pool.FetchPage(pages[7]);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_FALSE(pool.IsResident(pages[0]));
+  ASSERT_TRUE(pool.UnpinPage(pages[7], false).ok());
+  for (size_t i = 1; i < 4; ++i) {
+    ASSERT_TRUE(pool.UnpinPage(pages[i], false).ok());
+  }
+}
+
+TEST(OptimisticHitPathTest, DeleteRefusesPinnedAndReusesIds) {
+  SimDiskManager disk;
+  BufferPoolOptions options;
+  options.optimistic_hits = true;
+  BufferPool pool(4, &disk,
+                  std::make_unique<LruKPolicy>(LruKOptions{.k = 2}), options);
+  std::vector<PageId> pages = AllocateDb(pool, 4);
+
+  auto page = pool.FetchPage(pages[0]);
+  ASSERT_TRUE(page.ok());
+  // Pinned: the bucket-locked delete sees pin > 0 and refuses.
+  EXPECT_EQ(pool.DeletePage(pages[0]).code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(pool.IsResident(pages[0]));
+  ASSERT_TRUE(pool.UnpinPage(pages[0], false).ok());
+
+  // Unpinned: the delete lands, the frame returns to the free list, and
+  // the allocator hands the id out again.
+  ASSERT_TRUE(pool.DeletePage(pages[0]).ok());
+  EXPECT_FALSE(pool.IsResident(pages[0]));
+  EXPECT_EQ(pool.DeletePage(pages[0]).code(), StatusCode::kNotFound);
+  auto fresh = pool.NewPage();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ((*fresh)->id(), pages[0]);
+  EXPECT_TRUE(pool.UnpinPage((*fresh)->id(), true).ok());
+}
+
+}  // namespace
+}  // namespace lruk
