@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 
 namespace lruk {
 
@@ -18,6 +19,13 @@ struct BenchProvenance {
   std::string git_sha = "unknown";
   std::string build_type = "unknown";
   std::string sanitizer = "none";
+  // Hardware cores on the machine that produced the numbers (0 when the
+  // runtime cannot tell). Threaded-bench results are meaningless to
+  // compare across core counts, so the artifact records it.
+  unsigned cores = std::thread::hardware_concurrency();
+  // Worker/client threads the bench actually used; benches that sweep
+  // thread counts stamp the maximum swept. 0 = single-threaded bench.
+  unsigned threads = 0;
 };
 
 // Consumes one provenance flag (plus its value) at argv[*i] if present;
@@ -41,9 +49,11 @@ inline void WriteProvenanceJson(std::FILE* f,
                                 const BenchProvenance& provenance) {
   std::fprintf(f,
                "  \"provenance\": {\"git_sha\": \"%s\", "
-               "\"build_type\": \"%s\", \"sanitizer\": \"%s\"}",
+               "\"build_type\": \"%s\", \"sanitizer\": \"%s\", "
+               "\"cores\": %u, \"threads\": %u}",
                provenance.git_sha.c_str(), provenance.build_type.c_str(),
-               provenance.sanitizer.c_str());
+               provenance.sanitizer.c_str(), provenance.cores,
+               provenance.threads);
 }
 
 }  // namespace lruk

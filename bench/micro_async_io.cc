@@ -21,6 +21,16 @@
 // read. The background flusher runs too, so eviction write-back is
 // measured off the miss path.
 //
+// Section 3 — write-behind eviction (threaded, worker mode). A
+// dirty-heavy churn (70% writes) over a disk whose writes cost 5x its
+// reads, paced below disk saturation so the question is purely WHERE the
+// victim write-back runs: on the miss path (sync mode stalls the fetch
+// for write + read), reduced by background cleaning (flusher mode), or
+// off the miss path entirely (write-behind posts the pinned-copy victim
+// write on the Flush lane and admits immediately; the adaptive flusher
+// paces cleaning by dirty ratio). Client-side fetch latency percentiles
+// and the dispatcher's per-lane counters expose the difference.
+//
 // Shape checks (CI greps for ": NO"):
 //  * readahead — simulated foreground stall with readahead on is at
 //    least 5x below the synchronous baseline in every scan pair, with
@@ -29,16 +39,21 @@
 //    physical reads never exceed misses.
 //  * background cleaning — background_cleans nonzero in every threaded
 //    cell.
+//  * write-behind — foreground victim writes are <= 5% of all victim
+//    writes in every write-behind cell (writebehind_writes carries the
+//    rest), and client fetch p99 beats the sync baseline's.
 //  * accounting — hits + misses == ops issued in every cell.
 //
 // Flags: --json <path> writes machine-readable results (BENCH_async_io
 // trajectory); --quick shrinks op counts for CI smoke runs.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -206,14 +221,19 @@ ScanCell RunScanCell(const std::string& workload,
 // ---------------------------------------------------------------------
 // Section 2: coalescing under real concurrency.
 
-// Wraps a DiskManager and sleeps for real microseconds per read, so a
-// miss stays in flight long enough for concurrent misses on the same
-// page to pile onto the request tracker (a simulated-time disk returns
-// instantly and would shrink the coalescing window to nearly nothing).
+// Wraps a DiskManager and sleeps for real microseconds per read (and
+// optionally per write), so a miss stays in flight long enough for
+// concurrent misses on the same page to pile onto the request tracker (a
+// simulated-time disk returns instantly and would shrink the coalescing
+// window to nearly nothing), and so a foreground victim write-back costs
+// real, measurable client latency in the write-behind cells.
 class SleepingDiskManager final : public DiskManager {
  public:
-  SleepingDiskManager(DiskManager* inner, uint64_t read_sleep_micros)
-      : inner_(inner), read_sleep_micros_(read_sleep_micros) {}
+  SleepingDiskManager(DiskManager* inner, uint64_t read_sleep_micros,
+                      uint64_t write_sleep_micros = 0)
+      : inner_(inner),
+        read_sleep_micros_(read_sleep_micros),
+        write_sleep_micros_(write_sleep_micros) {}
 
   Status ReadPage(PageId p, char* out) override {
     std::this_thread::sleep_for(
@@ -221,6 +241,10 @@ class SleepingDiskManager final : public DiskManager {
     return inner_->ReadPage(p, out);
   }
   Status WritePage(PageId p, const char* data) override {
+    if (write_sleep_micros_ > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(write_sleep_micros_));
+    }
     return inner_->WritePage(p, data);
   }
   Result<PageId> AllocatePage() override { return inner_->AllocatePage(); }
@@ -236,6 +260,7 @@ class SleepingDiskManager final : public DiskManager {
  private:
   DiskManager* inner_;
   uint64_t read_sleep_micros_;
+  uint64_t write_sleep_micros_;
 };
 
 struct CoalesceCell {
@@ -339,12 +364,159 @@ CoalesceCell RunCoalesceCell(const std::string& pool_kind,
 }
 
 // ---------------------------------------------------------------------
+// Section 3: write-behind eviction under a dirty-heavy churn.
+
+struct WriteBehindCell {
+  std::string mode;  // "sync" | "flusher" | "write-behind" | "wb sharded x4"
+  uint64_t threads = 0;
+  uint64_t workers = 0;
+  uint64_t ops = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t dirty_writebacks = 0;  // Foreground (miss-path) victim writes.
+  uint64_t writebehind_writes = 0;
+  uint64_t writebehind_readmits = 0;
+  uint64_t io_drops_flush = 0;
+  uint64_t io_drops_prefetch = 0;
+  uint64_t background_cleans = 0;
+  IoDispatcherStats dispatcher;  // Per-lane depth/drop/wait accounting.
+  double fetch_p50_micros = 0.0;
+  double fetch_p99_micros = 0.0;
+  double wall_seconds = 0.0;
+  bool accounting_exact = false;
+};
+
+double Percentile(std::vector<double>* sorted_in_place, double q) {
+  if (sorted_in_place->empty()) return 0.0;
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  size_t idx = static_cast<size_t>(
+      q * static_cast<double>(sorted_in_place->size() - 1));
+  return (*sorted_in_place)[idx];
+}
+
+// Dirty-heavy churn: 70% of unpins dirty the page, writes cost 5x reads
+// (150 us vs 30 us of real sleep), and each client thread paces itself
+// with think time so the offered load stays below disk saturation —
+// write-behind reorders work, it does not create capacity, so the
+// interesting regime is the one where the Flush lane CAN keep up and the
+// only question is whether the miss path still pays for victim writes.
+WriteBehindCell RunWriteBehindCell(const std::string& mode,
+                                   uint64_t ops_per_thread) {
+  WriteBehindCell cell;
+  cell.mode = mode;
+  cell.threads = 6;
+  cell.workers = 4;
+
+  constexpr size_t kFrames = 64;
+  constexpr uint64_t kDbPages = 96;
+  constexpr double kWriteFraction = 0.7;
+  constexpr uint64_t kThinkMicros = 150;
+
+  SimDiskOptions disk_options;
+  disk_options.read_micros = 0.0;
+  disk_options.write_micros = 0.0;
+  SimDiskManager base(disk_options);
+  SleepingDiskManager disk(&base, /*read_sleep_micros=*/30,
+                           /*write_sleep_micros=*/150);
+
+  BufferPoolOptions options;
+  options.io_dispatcher = true;
+  options.io_workers = cell.workers;
+  options.io_queue_depth = 64;
+  options.batch_capacity = 64;
+  if (mode != "sync") {
+    options.flusher = true;
+    options.flusher_every_ops = 32;
+    options.flusher_batch = 8;
+  }
+  bool write_behind = mode == "write-behind" || mode == "wb sharded x4";
+  if (write_behind) {
+    options.write_behind = true;
+    options.flusher_adaptive = true;  // Pace cleaning by dirty ratio.
+  }
+
+  std::unique_ptr<PoolInterface> pool;
+  IoDispatcher* dispatcher = nullptr;
+  if (mode == "wb sharded x4") {
+    auto factory = MakeShardPolicyFactory(PolicyConfig::LruK(2));
+    if (!factory.ok()) return cell;
+    auto sharded = std::make_unique<ShardedBufferPool>(
+        kFrames, /*num_shards=*/4, &disk, *factory, options);
+    dispatcher = sharded->io_dispatcher();
+    pool = std::move(sharded);
+  } else {
+    auto single = std::make_unique<BufferPool>(
+        kFrames, &disk,
+        std::make_unique<LruKPolicy>(
+            LruKOptions{.k = 2, .capacity_hint = kFrames}),
+        options);
+    dispatcher = single->io_dispatcher();
+    pool = std::move(single);
+  }
+
+  std::vector<PageId> pages;
+  if (!AllocateDb(pool.get(), &disk, kDbPages, &pages)) return cell;
+
+  std::atomic<uint64_t> issued{0};
+  std::mutex merge_latch;
+  std::vector<double> fetch_micros;
+  fetch_micros.reserve(cell.threads * ops_per_thread);
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(cell.threads);
+  for (uint64_t t = 0; t < cell.threads; ++t) {
+    threads.emplace_back([&, t] {
+      RandomEngine rng(0xD17Bull * (t + 1));
+      std::vector<double> local;
+      local.reserve(ops_per_thread);
+      for (uint64_t i = 0; i < ops_per_thread; ++i) {
+        PageId p = pages[rng.NextBounded(kDbPages)];
+        bool write = rng.NextBernoulli(kWriteFraction);
+        auto before = std::chrono::steady_clock::now();
+        auto page = pool->FetchPage(
+            p, write ? AccessType::kWrite : AccessType::kRead);
+        local.push_back(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - before)
+                            .count());
+        issued.fetch_add(1, std::memory_order_relaxed);
+        if (page.ok()) (void)pool->UnpinPage(p, write);
+        std::this_thread::sleep_for(std::chrono::microseconds(kThinkMicros));
+      }
+      std::lock_guard<std::mutex> guard(merge_latch);
+      fetch_micros.insert(fetch_micros.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& th : threads) th.join();
+  cell.wall_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+
+  BufferPoolStats stats = pool->stats();
+  cell.ops = issued.load();
+  cell.hits = stats.hits;
+  cell.misses = stats.misses;
+  cell.dirty_writebacks = stats.dirty_writebacks;
+  cell.writebehind_writes = stats.writebehind_writes;
+  cell.writebehind_readmits = stats.writebehind_readmits;
+  cell.io_drops_flush = stats.io_drops_flush;
+  cell.io_drops_prefetch = stats.io_drops_prefetch;
+  cell.background_cleans = stats.background_cleans;
+  if (dispatcher != nullptr) cell.dispatcher = dispatcher->stats();
+  cell.fetch_p50_micros = Percentile(&fetch_micros, 0.50);
+  cell.fetch_p99_micros = Percentile(&fetch_micros, 0.99);
+  cell.accounting_exact = stats.hits + stats.misses == cell.ops;
+  return cell;
+}
+
+// ---------------------------------------------------------------------
 
 void WriteJson(const char* path, const BenchProvenance& provenance,
                const std::vector<ScanCell>& scan_cells,
                const std::vector<CoalesceCell>& coalesce_cells,
+               const std::vector<WriteBehindCell>& wb_cells,
                bool readahead_ok, bool prefetch_used_ok, bool coalesce_ok,
-               bool cleans_ok, bool accounting_ok) {
+               bool cleans_ok, bool wb_foreground_ok, bool wb_p99_ok,
+               bool accounting_ok) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
@@ -392,16 +564,64 @@ void WriteJson(const char* path, const BenchProvenance& provenance,
         static_cast<unsigned long long>(c.physical_reads), c.wall_seconds,
         i + 1 < coalesce_cells.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"writebehind_cells\": [\n");
+  for (size_t i = 0; i < wb_cells.size(); ++i) {
+    const WriteBehindCell& c = wb_cells[i];
+    std::fprintf(
+        f,
+        "    {\"mode\": \"%s\", \"threads\": %llu, \"io_workers\": %llu, "
+        "\"ops\": %llu, \"hits\": %llu, \"misses\": %llu, "
+        "\"dirty_writebacks\": %llu, \"writebehind_writes\": %llu, "
+        "\"writebehind_readmits\": %llu, \"io_drops_flush\": %llu, "
+        "\"io_drops_prefetch\": %llu, \"background_cleans\": %llu, "
+        "\"fetch_p50_micros\": %.1f, \"fetch_p99_micros\": %.1f, "
+        "\"wall_seconds\": %.3f, \"starvation_grants\": %llu, "
+        "\"lanes\": [",
+        c.mode.c_str(), static_cast<unsigned long long>(c.threads),
+        static_cast<unsigned long long>(c.workers),
+        static_cast<unsigned long long>(c.ops),
+        static_cast<unsigned long long>(c.hits),
+        static_cast<unsigned long long>(c.misses),
+        static_cast<unsigned long long>(c.dirty_writebacks),
+        static_cast<unsigned long long>(c.writebehind_writes),
+        static_cast<unsigned long long>(c.writebehind_readmits),
+        static_cast<unsigned long long>(c.io_drops_flush),
+        static_cast<unsigned long long>(c.io_drops_prefetch),
+        static_cast<unsigned long long>(c.background_cleans),
+        c.fetch_p50_micros, c.fetch_p99_micros, c.wall_seconds,
+        static_cast<unsigned long long>(c.dispatcher.starvation_grants));
+    for (size_t l = 0; l < kIoClassCount; ++l) {
+      const IoLaneStats& lane = c.dispatcher.lanes[l];
+      std::fprintf(
+          f,
+          "{\"class\": \"%s\", \"accepted\": %llu, \"rejected\": %llu, "
+          "\"executed\": %llu, \"queue_highwater\": %llu, "
+          "\"wait_micros\": %llu, \"max_wait_micros\": %llu}%s",
+          IoClassName(static_cast<IoClass>(l)),
+          static_cast<unsigned long long>(lane.accepted),
+          static_cast<unsigned long long>(lane.rejected),
+          static_cast<unsigned long long>(lane.executed),
+          static_cast<unsigned long long>(lane.queue_highwater),
+          static_cast<unsigned long long>(lane.wait_micros),
+          static_cast<unsigned long long>(lane.max_wait_micros),
+          l + 1 < kIoClassCount ? ", " : "");
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < wb_cells.size() ? "," : "");
+  }
   std::fprintf(f,
                "  ],\n  \"checks\": {\n"
                "    \"readahead_beats_sync\": %s,\n"
                "    \"prefetch_used_nonzero\": %s,\n"
                "    \"coalesced_nonzero\": %s,\n"
                "    \"background_cleans_nonzero\": %s,\n"
+               "    \"writebehind_foreground_near_zero\": %s,\n"
+               "    \"writebehind_p99_beats_sync\": %s,\n"
                "    \"accounting_exact\": %s\n  }\n}\n",
                readahead_ok ? "true" : "false",
                prefetch_used_ok ? "true" : "false",
                coalesce_ok ? "true" : "false", cleans_ok ? "true" : "false",
+               wb_foreground_ok ? "true" : "false",
+               wb_p99_ok ? "true" : "false",
                accounting_ok ? "true" : "false");
   std::fclose(f);
 }
@@ -435,6 +655,8 @@ int main(int argc, char** argv) {
   const uint64_t hot_pages = 128;
   const uint64_t chunk = 32;
   const uint64_t ops_per_thread = quick ? 400 : 2500;
+  const uint64_t wb_ops_per_thread = quick ? 600 : 3000;
+  provenance.threads = 8;  // Maximum client threads across the sections.
 
   std::printf(
       "Async I/O: scans over a simulated %.0f ms disk (inline dispatcher, "
@@ -506,6 +728,55 @@ int main(int argc, char** argv) {
   }
   co_table.Print();
 
+  std::printf("\nwrite-behind: 6 threads, 70%% writes, write cost 5x read, "
+              "paced below saturation (96 pages / 64 frames)\n");
+  std::vector<WriteBehindCell> wb_cells;
+  AsciiTable wb_table({"mode", "misses", "fg writes", "wb writes",
+                       "readmits", "flush drops", "p50 (us)", "p99 (us)"});
+  bool wb_foreground_ok = true;
+  bool wb_p99_ok = true;
+  double sync_p99 = 0.0;
+  double wb_single_p99 = 0.0;
+  for (const char* mode :
+       {"sync", "flusher", "write-behind", "wb sharded x4"}) {
+    WriteBehindCell c = RunWriteBehindCell(mode, wb_ops_per_thread);
+    wb_table.AddRow({c.mode, AsciiTable::Integer(c.misses),
+                     AsciiTable::Integer(c.dirty_writebacks),
+                     AsciiTable::Integer(c.writebehind_writes),
+                     AsciiTable::Integer(c.writebehind_readmits),
+                     AsciiTable::Integer(c.io_drops_flush),
+                     AsciiTable::Fixed(c.fetch_p50_micros, 1),
+                     AsciiTable::Fixed(c.fetch_p99_micros, 1)});
+    accounting_ok = accounting_ok && c.accounting_exact;
+    if (c.mode == "sync") sync_p99 = c.fetch_p99_micros;
+    if (c.mode == "write-behind") wb_single_p99 = c.fetch_p99_micros;
+    bool is_wb = c.mode == "write-behind" || c.mode == "wb sharded x4";
+    if (is_wb) {
+      // Foreground (miss-path) victim writes must be <= 5% of all victim
+      // writes: the Flush lane carries the rest.
+      uint64_t total_victim_writes =
+          c.dirty_writebacks + c.writebehind_writes;
+      if (c.writebehind_writes == 0 ||
+          c.dirty_writebacks * 20 > total_victim_writes) {
+        wb_foreground_ok = false;
+        std::printf("write-behind still writing in the foreground: %s "
+                    "fg=%llu wb=%llu\n",
+                    c.mode.c_str(),
+                    static_cast<unsigned long long>(c.dirty_writebacks),
+                    static_cast<unsigned long long>(c.writebehind_writes));
+      }
+    }
+    wb_cells.push_back(c);
+  }
+  // Compare apples to apples: single-latch write-behind vs single-latch
+  // sync (the sharded cell has 4x the latches and would win regardless).
+  if (wb_single_p99 >= sync_p99) {
+    wb_p99_ok = false;
+    std::printf("write-behind p99 did not beat sync: %.1f us vs %.1f us\n",
+                wb_single_p99, sync_p99);
+  }
+  wb_table.Print();
+
   std::printf("\nshape: readahead stalls >= 5x below the synchronous "
               "baseline in every scan pair: %s\n",
               readahead_ok ? "yes" : "NO");
@@ -518,17 +789,23 @@ int main(int argc, char** argv) {
   std::printf("shape: the background flusher cleans pages off the miss "
               "path (background_cleans > 0): %s\n",
               cleans_ok ? "yes" : "NO");
+  std::printf("shape: write-behind keeps foreground victim writes <= 5%% "
+              "of all victim writes: %s\n",
+              wb_foreground_ok ? "yes" : "NO");
+  std::printf("shape: write-behind client fetch p99 beats the sync "
+              "baseline: %s\n",
+              wb_p99_ok ? "yes" : "NO");
   std::printf("shape: hit+miss totals exactly equal ops in every cell: %s\n",
               accounting_ok ? "yes" : "NO");
 
   if (json_path != nullptr) {
-    WriteJson(json_path, provenance, scan_cells, coalesce_cells,
+    WriteJson(json_path, provenance, scan_cells, coalesce_cells, wb_cells,
               readahead_ok, prefetch_used_ok, coalesce_ok && bounded_ok,
-              cleans_ok, accounting_ok);
+              cleans_ok, wb_foreground_ok, wb_p99_ok, accounting_ok);
     std::printf("wrote %s\n", json_path);
   }
   return readahead_ok && prefetch_used_ok && coalesce_ok && bounded_ok &&
-                 cleans_ok && accounting_ok
+                 cleans_ok && wb_foreground_ok && wb_p99_ok && accounting_ok
              ? 0
              : 1;
 }

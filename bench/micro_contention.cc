@@ -310,6 +310,7 @@ int main(int argc, char** argv) {
   const std::vector<int> thread_counts = {1, 2, 4, 8};
   const std::vector<size_t> batch_capacities = {0, 1, 8, 64};
   unsigned cores = std::thread::hardware_concurrency();
+  provenance.threads = static_cast<unsigned>(thread_counts.back());
 
   std::printf(
       "Hit-path contention ladder: Zipfian 80-20 fetch/unpin (%llu pages, "

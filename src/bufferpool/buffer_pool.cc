@@ -1,5 +1,7 @@
 #include "bufferpool/buffer_pool.h"
 
+#include <algorithm>
+#include <cstring>
 #include <mutex>
 #include <utility>
 
@@ -19,6 +21,11 @@ BufferPoolStats BufferPool::AtomicPoolStats::ToStats() const {
   s.prefetch_used = prefetch_used.load(std::memory_order_relaxed);
   s.prefetch_dropped = prefetch_dropped.load(std::memory_order_relaxed);
   s.background_cleans = background_cleans.load(std::memory_order_relaxed);
+  s.writebehind_writes = writebehind_writes.load(std::memory_order_relaxed);
+  s.writebehind_readmits =
+      writebehind_readmits.load(std::memory_order_relaxed);
+  s.io_drops_flush = io_drops_flush.load(std::memory_order_relaxed);
+  s.io_drops_prefetch = io_drops_prefetch.load(std::memory_order_relaxed);
   s.optimistic_hits = optimistic_hits.load(std::memory_order_relaxed);
   s.optimistic_fallbacks = optimistic_fallbacks.load(std::memory_order_relaxed);
   s.pin_cas_retries = pin_cas_retries.load(std::memory_order_relaxed);
@@ -39,6 +46,10 @@ void BufferPool::AtomicPoolStats::Reset() {
   prefetch_used.store(0, std::memory_order_relaxed);
   prefetch_dropped.store(0, std::memory_order_relaxed);
   background_cleans.store(0, std::memory_order_relaxed);
+  writebehind_writes.store(0, std::memory_order_relaxed);
+  writebehind_readmits.store(0, std::memory_order_relaxed);
+  io_drops_flush.store(0, std::memory_order_relaxed);
+  io_drops_prefetch.store(0, std::memory_order_relaxed);
   optimistic_hits.store(0, std::memory_order_relaxed);
   optimistic_fallbacks.store(0, std::memory_order_relaxed);
   pin_cas_retries.store(0, std::memory_order_relaxed);
@@ -73,13 +84,27 @@ BufferPool::BufferPool(size_t capacity, DiskManager* disk,
     if (shared_dispatcher != nullptr) {
       io_ = shared_dispatcher;
     } else {
-      owned_io_ = std::make_unique<IoDispatcher>(IoDispatcherOptions{
-          options_.io_workers, options_.io_queue_depth});
+      owned_io_ = std::make_unique<IoDispatcher>(
+          IoDispatcherOptions{options_.io_workers, options_.io_queue_depth,
+                              options_.io_starvation_budget});
       io_ = owned_io_.get();
     }
     if (options_.readahead.enabled) {
       readahead_ = std::make_unique<ReadaheadDetector>(options_.readahead);
     }
+  }
+  // Write-behind needs somewhere off the miss path to run: a worker-mode
+  // dispatcher. Inline mode stays on the direct synchronous write-back so
+  // deterministic replay sees the exact same disk-op order.
+  write_behind_ =
+      options_.write_behind && io_ != nullptr && !io_->inline_mode();
+  {
+    // The cadence/batch in force until (if adaptive) the first re-plan.
+    uint64_t every = options_.flusher_adaptive ? options_.flusher_max_every
+                                               : options_.flusher_every_ops;
+    adaptive_every_.store(every == 0 ? 1 : every, std::memory_order_relaxed);
+    uint64_t batch = options_.flusher_batch;
+    adaptive_batch_.store(batch == 0 ? 1 : batch, std::memory_order_relaxed);
   }
   // With a pool-level readahead detector, hits must pass through the
   // latched path so the detector observes the full fetch stream — and
@@ -127,12 +152,14 @@ Status BufferPool::DiskWrite(PageId p, const char* data) {
   return outcome.status;
 }
 
-Result<FrameId> BufferPool::AcquireFrame() {
+Result<FrameId> BufferPool::AcquireFrame(
+    std::vector<PageId>* deferred_writes) {
   if (!free_frames_.empty()) {
     FrameId f = free_frames_.back();
     free_frames_.pop_back();
     return f;
   }
+  bool defer = write_behind_ && deferred_writes != nullptr;
   if (!optimistic_) {
     auto victim = policy_->Evict();
     if (!victim.has_value()) {
@@ -146,17 +173,29 @@ Result<FrameId> BufferPool::AcquireFrame() {
     LRUK_ASSERT(page.pin_count_.load(std::memory_order_relaxed) == 0,
                 "policy evicted a pinned page");
     if (page.is_dirty()) {
-      // Write back BEFORE dismantling any pool state, so a failure can
-      // roll the eviction back: the frame still holds the page image and
-      // its page-table entry, pin count (0) and dirty bit are untouched —
-      // Restore() re-registers the victim with the policy and the pool is
-      // exactly as it was before Evict(). No eviction is counted.
-      Status written = DiskWrite(page.id_, page.Data());
-      if (!written.ok()) {
-        policy_->Restore(*victim);
-        return written;
+      if (defer) {
+        // Write-behind: copy the image aside (the "pinned copy") and hand
+        // the write to the Flush lane after the latch drops — the frame is
+        // reusable immediately and the miss path never waits on it. A
+        // failed write re-admits exactly (ReadmitFailedVictimLocked).
+        auto vw = std::make_shared<VictimWrite>();
+        vw->image = std::make_unique<char[]>(kPageSize);
+        std::memcpy(vw->image.get(), page.Data(), kPageSize);
+        pending_victim_writes_.emplace(*victim, std::move(vw));
+        deferred_writes->push_back(*victim);
+      } else {
+        // Write back BEFORE dismantling any pool state, so a failure can
+        // roll the eviction back: the frame still holds the page image and
+        // its page-table entry, pin count (0) and dirty bit are untouched —
+        // Restore() re-registers the victim with the policy and the pool is
+        // exactly as it was before Evict(). No eviction is counted.
+        Status written = DiskWrite(page.id_, page.Data());
+        if (!written.ok()) {
+          policy_->Restore(*victim);
+          return written;
+        }
+        ++stats_.dirty_writebacks;
       }
-      ++stats_.dirty_writebacks;
     }
     page_table_.Erase(*victim);
     page.id_ = kInvalidPageId;
@@ -195,16 +234,25 @@ Result<FrameId> BufferPool::AcquireFrame() {
     }
     // Unpinned and the bucket is odd: no reader can validate a new pin
     // until we release the bucket, so the frame is exclusively ours —
-    // the write-back below cannot race a page writer.
+    // the write-back (or write-behind image copy) below cannot race a
+    // page writer.
     if (page.is_dirty()) {
-      Status written = DiskWrite(page.id_, page.Data());
-      if (!written.ok()) {
-        policy_->Restore(*victim);
-        page_table_.UnlockUnchanged(bucket);
-        result = written;
-        break;
+      if (defer) {
+        auto vw = std::make_shared<VictimWrite>();
+        vw->image = std::make_unique<char[]>(kPageSize);
+        std::memcpy(vw->image.get(), page.Data(), kPageSize);
+        pending_victim_writes_.emplace(*victim, std::move(vw));
+        deferred_writes->push_back(*victim);
+      } else {
+        Status written = DiskWrite(page.id_, page.Data());
+        if (!written.ok()) {
+          policy_->Restore(*victim);
+          page_table_.UnlockUnchanged(bucket);
+          result = written;
+          break;
+        }
+        ++stats_.dirty_writebacks;
       }
-      ++stats_.dirty_writebacks;
     }
     page_table_.UnlockErased(bucket);
     page.id_ = kInvalidPageId;
@@ -240,21 +288,38 @@ void BufferPool::FinishPendingLocked(PageId p,
 
 void BufferPool::FencePageLocked(std::unique_lock<std::mutex>& guard,
                                  PageId p) {
-  // Waits out every in-flight read of `p` (there is at most one at a time,
-  // but its completion can be followed by a new one before we re-acquire
-  // the latch, hence the loop).
+  // Waits out every in-flight read of `p`, any in-flight write-behind
+  // victim write of `p`, and any flusher clean of `p` mid-disk-write
+  // (there is at most one of each at a time, but a completion can be
+  // followed by a new one before we re-acquire the latch, hence the
+  // loop). The flusher fence is what lets FlushPage/DeletePage run
+  // against the clean's snapshot write without racing a newer image.
   while (io_ != nullptr) {
     auto it = pending_reads_.find(p);
-    if (it == pending_reads_.end()) return;
-    std::shared_ptr<PendingIo> entry = it->second;
-    entry->cv.wait(guard, [&] { return entry->done; });
+    if (it != pending_reads_.end()) {
+      std::shared_ptr<PendingIo> entry = it->second;
+      entry->cv.wait(guard, [&] { return entry->done; });
+      continue;
+    }
+    auto vw = pending_victim_writes_.find(p);
+    if (vw != pending_victim_writes_.end()) {
+      std::shared_ptr<VictimWrite> entry = vw->second;
+      entry->cv.wait(guard, [&] { return entry->done; });
+      continue;
+    }
+    if (flusher_cleaning_.contains(p)) {
+      quiesce_cv_.wait(guard, [&] { return !flusher_cleaning_.contains(p); });
+      continue;
+    }
+    return;
   }
 }
 
 void BufferPool::QuiesceLocked(std::unique_lock<std::mutex>& guard) {
   if (io_ == nullptr) return;
   quiesce_cv_.wait(guard, [&] {
-    return pending_reads_.empty() && inflight_background_ == 0;
+    return pending_reads_.empty() && pending_victim_writes_.empty() &&
+           inflight_background_ == 0;
   });
 }
 
@@ -265,7 +330,21 @@ void BufferPool::Quiesce() {
 
 bool BufferPool::RegisterPrefetchLocked(PageId p) {
   if (page_table_.contains(p) || pending_reads_.contains(p)) return false;
+  // A page with its own victim write in flight (or a parked image) will be
+  // re-served from pool state, not from the possibly-stale disk image.
+  if (pending_victim_writes_.contains(p) || parked_victims_.contains(p)) {
+    return false;
+  }
+  if (io_ != nullptr && !io_->inline_mode()) {
+    // Worker mode: bound concurrently in-flight prefetches. (Inline mode
+    // never has more than the one executing synchronously right now.)
+    size_t cap = options_.readahead.max_inflight != 0
+                     ? options_.readahead.max_inflight
+                     : options_.readahead.window;
+    if (cap != 0 && inflight_prefetches_ >= cap) return false;
+  }
   pending_reads_.emplace(p, std::make_shared<PendingIo>());
+  ++inflight_prefetches_;
   ++inflight_background_;
   ++stats_.prefetch_issued;
   return true;
@@ -286,23 +365,30 @@ void BufferPool::ExecutePrefetch(PageId p) {
     ++stats_.prefetch_dropped;
     entry->retry_as_primary = true;
     FinishPendingLocked(p, entry, std::move(status));
+    --inflight_prefetches_;
     --inflight_background_;
     quiesce_cv_.notify_all();
   };
   DrainAccessBufferLocked();
   policy_->PrepareAdmit(p);
-  auto frame = AcquireFrame();
+  std::vector<PageId> deferred;
+  auto frame = AcquireFrame(&deferred);
   if (!frame.ok()) {
     abandon(frame.status());
+    guard.unlock();
+    LaunchDeferredVictimWrites(deferred);
     return;
   }
   Page& page = frames_[*frame];
   // The read itself runs with the latch released (we are on a worker in
   // worker mode, or past the foreground admission in inline mode); the
   // frame is reserved — in neither the free list nor the page table — and
-  // the tracker entry keeps every other path off the page.
+  // the tracker entry keeps every other path off the page. The deferred
+  // victim write (if any) is posted first so it overlaps the read
+  // (TryPost from a worker never blocks).
   RetryOutcome outcome;
   guard.unlock();
+  LaunchDeferredVictimWrites(deferred);
   outcome = RetryWithBackoff(options_.io_retry,
                              [&] { return disk_->ReadPage(p, page.Data()); });
   guard.lock();
@@ -325,6 +411,7 @@ void BufferPool::ExecutePrefetch(PageId p) {
   // (hopefully) follows lands as a hit within the correlated period.
   policy_->Admit(p, AccessType::kRead);
   FinishPendingLocked(p, entry, Status::Ok());
+  --inflight_prefetches_;
   --inflight_background_;
   quiesce_cv_.notify_all();
 }
@@ -348,8 +435,10 @@ void BufferPool::LaunchBackgroundWork(const std::vector<PageId>& prefetches,
                                       bool flusher_due) {
   if (io_ == nullptr) return;
   for (PageId q : prefetches) {
-    if (io_->TryPost([this, q] { ExecutePrefetch(q); })) continue;
-    // Queue full: the prefetch never runs, so retire its tracker entry
+    if (io_->TryPost([this, q] { ExecutePrefetch(q); }, IoClass::kPrefetch)) {
+      continue;
+    }
+    // Lane full: the prefetch never runs, so retire its tracker entry
     // here. Any demand fetch already waiting retries as a primary.
     auto guard = Lock();
     auto it = pending_reads_.find(q);
@@ -357,22 +446,27 @@ void BufferPool::LaunchBackgroundWork(const std::vector<PageId>& prefetches,
                 "rejected prefetch already completed");
     std::shared_ptr<PendingIo> entry = it->second;
     ++stats_.prefetch_dropped;
+    ++stats_.io_drops_prefetch;
     entry->retry_as_primary = true;
     FinishPendingLocked(q, entry,
                         Status::ResourceExhausted("dispatcher queue full"));
+    --inflight_prefetches_;
     --inflight_background_;
     quiesce_cv_.notify_all();
   }
   if (!flusher_due) return;
-  bool posted = io_->TryPost([this] {
-    RunFlusherPass();
-    auto guard = Lock();
-    --inflight_background_;
-    quiesce_cv_.notify_all();
-  });
+  bool posted = io_->TryPost(
+      [this] {
+        RunFlusherPass();
+        auto guard = Lock();
+        --inflight_background_;
+        quiesce_cv_.notify_all();
+      },
+      IoClass::kFlush);
   if (!posted) {
     // Dropped pass; the next trigger tries again.
     auto guard = Lock();
+    ++stats_.io_drops_flush;
     --inflight_background_;
     quiesce_cv_.notify_all();
   }
@@ -402,8 +496,11 @@ void BufferPool::RunFlusherPass() {
   // flusher_batch unpinned ones surface (or the policy runs dry) — the
   // clean set matches the latched peek exactly when nothing is pinned.
   std::vector<PageId> clean_set;
+  size_t batch = options_.flusher_adaptive
+                     ? adaptive_batch_.load(std::memory_order_relaxed)
+                     : options_.flusher_batch;
   if (!optimistic_) {
-    size_t want = options_.flusher_batch;
+    size_t want = batch;
     if (want > policy_->EvictableCount()) want = policy_->EvictableCount();
     victims.reserve(want);
     for (size_t i = 0; i < want; ++i) {
@@ -413,7 +510,7 @@ void BufferPool::RunFlusherPass() {
     }
     clean_set = victims;
   } else {
-    while (clean_set.size() < options_.flusher_batch) {
+    while (clean_set.size() < batch) {
       auto victim = policy_->Evict();
       if (!victim.has_value()) break;
       victims.push_back(*victim);
@@ -426,39 +523,108 @@ void BufferPool::RunFlusherPass() {
   for (auto it = victims.rbegin(); it != victims.rend(); ++it) {
     policy_->Restore(*it);
   }
-  // Clean in victim order, most imminent first. A failed write-back
-  // leaves the page dirty (and resident — it was restored above); the
-  // eviction path retries the write when the page's turn really comes.
+  // Clean in victim order, most imminent first, WITHOUT holding the pool
+  // latch across the disk writes (a batch of slow writes under the latch
+  // would put the whole pass back on every other thread's miss path).
+  // Per page: under the latch, pin it (no eviction, no delete can take
+  // it), claim the dirty bit and snapshot the image; write the snapshot
+  // unlatched; relock to unpin and settle. A client that re-dirties the
+  // page mid-write just leaves it dirty for a later pass — the snapshot
+  // is a valid prior version. FencePageLocked waits on flusher_cleaning_
+  // so no explicit FlushPage can race a newer image against the
+  // snapshot; a failed write re-sets the dirty bit.
+  auto scratch = std::make_unique<char[]>(kPageSize);
   for (PageId v : clean_set) {
     FrameId f = 0;
-    bool found = page_table_.Find(v, &f);
-    LRUK_ASSERT(found, "flusher peeked a page the pool does not hold");
+    // Re-validate per page: the latch drops between cleans, so a peeked
+    // page can be evicted or deleted before its turn comes.
+    if (!page_table_.Find(v, &f)) continue;
     Page& page = frames_[f];
     if (optimistic_) {
       // Same handshake as eviction: bucket odd, THEN re-check the pin —
       // a concurrent latch-free pin either lands before the bump (seen
-      // here: skip) or fails validation; either way nobody can be
-      // writing the page image during the write-back below.
+      // here: skip) or fails validation. Claim and copy while the bucket
+      // is still odd (no latch-free pin can land and mutate the image
+      // mid-copy); the pin taken here blocks eviction for the whole
+      // snapshot write after the bucket is released.
       size_t bucket = page_table_.LockBucket(v);
       if (page.pin_count_.load() != 0 || !page.is_dirty()) {
         page_table_.UnlockUnchanged(bucket);
         continue;
       }
-      Status written = DiskWrite(v, page.Data());
-      if (written.ok()) {
-        page.dirty_.store(false, std::memory_order_relaxed);
-        ++stats_.background_cleans;
-      }
+      page.pin_count_.fetch_add(1);
+      page.dirty_.store(false, std::memory_order_relaxed);
+      std::memcpy(scratch.get(), page.Data(), kPageSize);
       page_table_.UnlockUnchanged(bucket);
     } else {
-      if (!page.is_dirty()) continue;
-      Status written = DiskWrite(v, page.Data());
-      if (written.ok()) {
-        page.dirty_.store(false, std::memory_order_relaxed);
-        ++stats_.background_cleans;
+      // Claim-then-copy under the latch: pins need the latch in latched
+      // mode, so with pin_count == 0 here nobody is mutating the image
+      // during the copy.
+      if (page.pin_count_.load(std::memory_order_relaxed) != 0 ||
+          !page.is_dirty()) {
+        continue;
       }
+      page.pin_count_.fetch_add(1);
+      policy_->SetEvictable(v, false);
+      page.dirty_.store(false, std::memory_order_relaxed);
+      std::memcpy(scratch.get(), page.Data(), kPageSize);
     }
+    flusher_cleaning_.insert(v);
+    guard.unlock();
+    Status written = DiskWrite(v, scratch.get());
+    guard.lock();
+    CountLatchAcquire();
+    flusher_cleaning_.erase(v);
+    if (written.ok()) {
+      ++stats_.background_cleans;
+    } else {
+      page.dirty_.store(true, std::memory_order_release);
+    }
+    if (page.pin_count_.fetch_sub(1) == 1 && !optimistic_) {
+      policy_->SetEvictable(v, true);
+    }
+    quiesce_cv_.notify_all();
   }
+  ReplanFlusherLocked();
+}
+
+void BufferPool::ReplanFlusherLocked() {
+  if (!options_.flusher_adaptive) return;
+  // Dirty ratio over the whole pool: an O(capacity) frame scan, amortized
+  // over a pass that just did `batch` Evict/Restore pairs and up to
+  // `batch` disk writes.
+  size_t dirty = 0;
+  for (size_t f = 0; f < capacity_; ++f) {
+    if (frames_[f].id_ != kInvalidPageId && frames_[f].is_dirty()) ++dirty;
+  }
+  double ratio = static_cast<double>(dirty) / static_cast<double>(capacity_);
+  double lo = options_.flusher_dirty_low;
+  double hi = options_.flusher_dirty_high;
+  double t = hi <= lo ? (ratio >= hi ? 1.0 : 0.0)
+                      : std::min(1.0, std::max(0.0, (ratio - lo) / (hi - lo)));
+  // Cadence ramps max_every -> min_every and batch flusher_batch ->
+  // max_batch as the dirty ratio crosses [lo, hi].
+  uint64_t max_e = std::max<uint64_t>(1, options_.flusher_max_every);
+  uint64_t min_e = std::max<uint64_t>(
+      1, std::min<uint64_t>(options_.flusher_min_every, max_e));
+  uint64_t every =
+      max_e - static_cast<uint64_t>(static_cast<double>(max_e - min_e) * t);
+  uint64_t min_b = std::max<uint64_t>(1, options_.flusher_batch);
+  uint64_t max_b = std::max<uint64_t>(min_b, options_.flusher_max_batch);
+  uint64_t next_batch =
+      min_b + static_cast<uint64_t>(static_cast<double>(max_b - min_b) * t);
+  // Demand back-pressure: misses queued deeper than the worker fleet means
+  // the disk is the bottleneck right now — cleaning should yield, not
+  // compete (the Flush lane already ranks below Demand; this also shrinks
+  // how much we submit at all). Skipped in inline mode, where the depth is
+  // identically zero and determinism matters.
+  if (io_ != nullptr && !io_->inline_mode() &&
+      io_->LaneDepth(IoClass::kDemand) > io_->options().workers) {
+    every = std::min<uint64_t>(every * 2, max_e);
+    next_batch = std::max<uint64_t>(1, next_batch / 2);
+  }
+  adaptive_every_.store(every == 0 ? 1 : every, std::memory_order_relaxed);
+  adaptive_batch_.store(next_batch, std::memory_order_relaxed);
 }
 
 Page* BufferPool::TryOptimisticHit(PageId p, AccessType type) {
@@ -557,10 +723,56 @@ Result<Page*> BufferPool::FetchPage(PageId p, AccessType type) {
       LaunchBackgroundWork(targets, flusher_due);
       return &page;
     }
-    // The per-page request tracker: a read of p already in flight (another
-    // thread's miss, or a prefetch) absorbs this miss — wait for it
-    // instead of issuing a second physical read.
     if (io_ != nullptr) {
+      // The page's own write-behind victim write may still be in flight: a
+      // disk read now could return the stale pre-eviction image. Wait it
+      // out; the re-loop then sees the page re-admitted (failed write), or
+      // takes a normal miss against the fresh on-disk image.
+      auto vw = pending_victim_writes_.find(p);
+      if (vw != pending_victim_writes_.end()) {
+        std::shared_ptr<VictimWrite> entry = vw->second;
+        entry->cv.wait(guard, [&] { return entry->done; });
+        continue;
+      }
+      // A parked image (failed write-behind, no frame at re-admit time) is
+      // the authoritative copy — the disk's is stale. Re-admit it here,
+      // dirty, with its retained LRU-K history (Restore), then serve the
+      // fetch as the reference it is.
+      auto parked = parked_victims_.find(p);
+      if (parked != parked_victims_.end()) {
+        if (!counted) ++stats_.misses;  // Not resident; no physical read.
+        std::unique_ptr<char[]> image = std::move(parked->second);
+        parked_victims_.erase(parked);
+        DrainAccessBufferLocked();
+        std::vector<PageId> deferred;
+        auto frame = AcquireFrame(&deferred);
+        if (!frame.ok()) {
+          parked_victims_.emplace(p, std::move(image));  // Still parked.
+          guard.unlock();
+          LaunchDeferredVictimWrites(deferred);
+          return frame.status();
+        }
+        Page& page = frames_[*frame];
+        std::memcpy(page.Data(), image.get(), kPageSize);
+        page.id_ = p;
+        page.pin_count_.fetch_add(1);  // Never a store; see below.
+        page.dirty_.store(true, std::memory_order_relaxed);
+        page_table_.Insert(p, *frame);
+        frame_prefetched_[*frame].store(0, std::memory_order_relaxed);
+        policy_->Restore(p);
+        policy_->RecordAccess(p, type);
+        if (!optimistic_) policy_->SetEvictable(p, false);
+        if (type == AccessType::kWrite) {
+          page.dirty_.store(true, std::memory_order_release);
+        }
+        ++stats_.writebehind_readmits;
+        guard.unlock();
+        LaunchDeferredVictimWrites(deferred);
+        return &page;
+      }
+      // The per-page request tracker: a read of p already in flight
+      // (another thread's miss, or a prefetch) absorbs this miss — wait
+      // for it instead of issuing a second physical read.
       auto pending = pending_reads_.find(p);
       if (pending != pending_reads_.end()) {
         if (!counted) {
@@ -592,8 +804,9 @@ Result<Page*> BufferPool::FetchPage(PageId p, AccessType type) {
   // decision, which must act on a fully drained view).
   DrainAccessBufferLocked();
   policy_->PrepareAdmit(p);
-  auto frame = AcquireFrame();
-  if (!frame.ok()) return frame.status();
+  std::vector<PageId> deferred;
+  auto frame = AcquireFrame(&deferred);
+  if (!frame.ok()) return frame.status();  // Nothing deferred on failure.
   Page& page = frames_[*frame];
   Status read;
   if (io_ != nullptr) {
@@ -601,10 +814,15 @@ Result<Page*> BufferPool::FetchPage(PageId p, AccessType type) {
     // the dispatcher: concurrent misses on p coalesce onto this entry, and
     // the rest of the pool stays serviceable during the I/O. The frame is
     // reserved (neither free nor mapped), so nothing else can claim it.
+    // The deferred victim write (if any) is posted before the demand read
+    // is issued, so the write-back overlaps the read instead of preceding
+    // it — the point of write-behind.
     auto entry = std::make_shared<PendingIo>();
     pending_reads_.emplace(p, entry);
     RetryOutcome outcome;
     guard.unlock();
+    LaunchDeferredVictimWrites(deferred);
+    deferred.clear();
     io_->Run([&] {
       outcome = RetryWithBackoff(
           options_.io_retry, [&] { return disk_->ReadPage(p, page.Data()); });
@@ -644,22 +862,29 @@ Result<Page*> BufferPool::FetchPage(PageId p, AccessType type) {
 }
 
 Result<Page*> BufferPool::NewPage() {
+  std::vector<PageId> deferred;
   auto guard = Lock();
   auto allocated = disk_->AllocatePage();
   if (!allocated.ok()) return allocated.status();
   PageId p = *allocated;
-  auto page = AdmitNewPageLocked(p);
+  auto page = AdmitNewPageLocked(p, &deferred);
   if (!page.ok()) (void)disk_->DeallocatePage(p);
+  guard.unlock();
+  LaunchDeferredVictimWrites(deferred);
   return page;
 }
 
 Result<Page*> BufferPool::AdmitNewPage(PageId p) {
+  std::vector<PageId> deferred;
   auto guard = Lock();
-  auto page = AdmitNewPageLocked(p);
+  auto page = AdmitNewPageLocked(p, &deferred);
+  guard.unlock();
+  LaunchDeferredVictimWrites(deferred);
   return page;
 }
 
-Result<Page*> BufferPool::AdmitNewPageLocked(PageId p) {
+Result<Page*> BufferPool::AdmitNewPageLocked(
+    PageId p, std::vector<PageId>* deferred_writes) {
   // A reallocated id can have a stale prefetch in flight (the readahead
   // window ran past a page another thread deleted); wait it out so the
   // admission cannot race the prefetch's own admission of p.
@@ -675,7 +900,7 @@ Result<Page*> BufferPool::AdmitNewPageLocked(PageId p) {
   DrainAccessBufferLocked();  // As on the miss path: admit/evict on a
                               // fully drained view.
   policy_->PrepareAdmit(p);
-  auto frame = AcquireFrame();
+  auto frame = AcquireFrame(deferred_writes);
   if (!frame.ok()) return frame.status();
   Page& page = frames_[*frame];
   page.ZeroFill();
@@ -735,8 +960,21 @@ Status BufferPool::UnpinPage(PageId p, bool dirty) {
 
 Status BufferPool::FlushPage(PageId p) {
   auto guard = Lock();
-  FencePageLocked(guard, p);  // A read in flight may be admitting p.
+  // A read in flight may be admitting p; a victim write in flight IS the
+  // flush (on failure the fence's wake-up sees the page re-admitted dirty
+  // below, or parked).
+  FencePageLocked(guard, p);
   DrainAccessBufferLocked();
+  {
+    auto parked = parked_victims_.find(p);
+    if (parked != parked_victims_.end()) {
+      // The parked image is the authoritative copy; persisting it IS the
+      // flush. On failure it stays parked (retried by the next flush).
+      LRUK_RETURN_IF_ERROR(DiskWrite(p, parked->second.get()));
+      parked_victims_.erase(p);
+      return Status::Ok();
+    }
+  }
   FrameId f = 0;
   if (!page_table_.Find(p, &f)) {
     return Status::NotFound("flush of non-resident page " + std::to_string(p));
@@ -775,6 +1013,17 @@ Status BufferPool::FlushAll() {
       first_error = written;
     }
   });
+  // Parked victim images (failed write-behind, no frame to re-admit into)
+  // are dirty pages too; the quiesce above guarantees the set is settled.
+  for (auto it = parked_victims_.begin(); it != parked_victims_.end();) {
+    Status written = DiskWrite(it->first, it->second.get());
+    if (written.ok()) {
+      it = parked_victims_.erase(it);
+    } else {
+      if (first_error.ok()) first_error = written;
+      ++it;
+    }
+  }
   return first_error;
 }
 
@@ -820,6 +1069,9 @@ Status BufferPool::DeletePage(PageId p) {
     if (resident && optimistic_) page_table_.UnlockUnchanged(bucket);
     return deallocated;
   }
+  // A parked image of a deleted page is intentionally discarded: its data
+  // has no home on disk anymore.
+  parked_victims_.erase(p);
   if (resident) {
     Page& page = frames_[f];
     policy_->Remove(p);
@@ -834,6 +1086,84 @@ Status BufferPool::DeletePage(PageId p) {
     }
   }
   return Status::Ok();
+}
+
+void BufferPool::LaunchDeferredVictimWrites(
+    const std::vector<PageId>& victims) {
+  for (PageId v : victims) {
+    if (io_->TryPost([this, v] { ExecuteVictimWrite(v, /*foreground=*/false); },
+                     IoClass::kFlush)) {
+      continue;
+    }
+    // Flush lane full: the image must still reach disk (or the page be
+    // re-admitted) before anyone can read p again, so run the write here,
+    // synchronously — the one case where write-behind stalls the
+    // foreground, and it counts as such (dirty_writebacks).
+    ++stats_.io_drops_flush;
+    ExecuteVictimWrite(v, /*foreground=*/true);
+  }
+}
+
+void BufferPool::ExecuteVictimWrite(PageId v, bool foreground) {
+  auto guard = Lock();
+  auto it = pending_victim_writes_.find(v);
+  LRUK_ASSERT(it != pending_victim_writes_.end(),
+              "victim write lost its entry");
+  std::shared_ptr<VictimWrite> vw = it->second;
+  // The write runs with the latch released (a Flush-lane worker, or the
+  // submitting thread on lane-full fallback). The map entry keeps every
+  // reader of p waiting: a demand fetch of p, a prefetch registration, a
+  // fence — none can touch p's stale disk image while we are here.
+  RetryOutcome outcome;
+  guard.unlock();
+  outcome = RetryWithBackoff(options_.io_retry,
+                             [&] { return disk_->WritePage(v, vw->image.get()); });
+  guard.lock();
+  CountLatchAcquire();
+  stats_.retries += outcome.retries;
+  Status written = outcome.status;
+  if (written.ok()) {
+    if (foreground) {
+      ++stats_.dirty_writebacks;
+    } else {
+      ++stats_.writebehind_writes;
+    }
+  } else {
+    ++stats_.write_failures;
+    // Exact rollback, just later than the synchronous path's: the page
+    // comes back dirty with its retained policy history (or its image is
+    // parked when every frame is pinned). The eviction stays counted.
+    ReadmitFailedVictimLocked(v, std::move(vw->image));
+  }
+  vw->status = written;
+  vw->done = true;
+  pending_victim_writes_.erase(v);
+  vw->cv.notify_all();
+  quiesce_cv_.notify_all();
+}
+
+void BufferPool::ReadmitFailedVictimLocked(PageId v,
+                                           std::unique_ptr<char[]> image) {
+  DrainAccessBufferLocked();  // Evict below acts on a fully drained view.
+  // No deferral here: a nested dirty victim is written synchronously, so a
+  // failing disk cannot cascade write-behind entries indefinitely.
+  auto frame = AcquireFrame(nullptr);
+  if (!frame.ok()) {
+    // Every frame pinned (or the nested write-back failed too): park the
+    // image — the only copy of the page's data — rather than lose it.
+    // FetchPage re-admits it, FlushPage/FlushAll persist it, DeletePage
+    // discards it.
+    parked_victims_.emplace(v, std::move(image));
+    return;
+  }
+  Page& page = frames_[*frame];
+  std::memcpy(page.Data(), image.get(), kPageSize);
+  page.id_ = v;
+  page.dirty_.store(true, std::memory_order_relaxed);
+  page_table_.Insert(v, *frame);
+  frame_prefetched_[*frame].store(0, std::memory_order_relaxed);
+  policy_->Restore(v);  // Unpinned and evictable, history intact.
+  ++stats_.writebehind_readmits;
 }
 
 }  // namespace lruk

@@ -42,6 +42,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "bufferpool/page.h"
@@ -110,9 +111,24 @@ struct BufferPoolOptions {
   // direct path. > 0: miss reads run on workers, prefetches and flusher
   // passes run in the background.
   size_t io_workers = 0;
-  // Bounded dispatcher queue depth (worker mode): miss reads block while
-  // it is full, background work is dropped instead.
+  // Bounded dispatcher queue depth (worker mode), PER priority lane
+  // (Demand/Flush/Prefetch): miss reads block while the Demand lane is
+  // full, background work is dropped instead.
   size_t io_queue_depth = 64;
+  // Anti-starvation bound for the dispatcher's background lanes: at most
+  // this many consecutive demand dispatches while Flush/Prefetch work
+  // waits queued, then one background item is served (see io_dispatcher.h).
+  size_t io_starvation_budget = 16;
+  // Write-behind eviction: when a dirty victim is chosen and the
+  // dispatcher runs in worker mode, the evicting thread copies the frame
+  // image aside, posts the write on the Flush lane, and admits the new
+  // page immediately — the victim write-back leaves the miss path
+  // entirely (writebehind_writes; a full Flush lane falls back to the
+  // synchronous write, dirty_writebacks). A failed write-behind re-admits
+  // the page dirty, exactly, via ReplacementPolicy::Restore
+  // (writebehind_readmits). Inert in inline mode (io_workers == 0):
+  // deterministic replay keeps the direct path's exact disk-op order.
+  bool write_behind = false;
   // Background flusher: every `flusher_every_ops` fetches, a pass peeks
   // the policy's next `flusher_batch` victims (Evict + exact Restore) and
   // writes the dirty ones back, so eviction write-back rarely lands on the
@@ -121,6 +137,22 @@ struct BufferPoolOptions {
   bool flusher = false;
   size_t flusher_every_ops = 64;
   size_t flusher_batch = 8;
+  // Adaptive flusher pacing: instead of the fixed cadence above, each
+  // pass re-plans the next one from the measured dirty ratio and the
+  // dispatcher's Demand-lane depth. Cadence moves linearly from
+  // `flusher_max_every` (dirty ratio <= flusher_dirty_low) down to
+  // `flusher_min_every` (ratio >= flusher_dirty_high), and the batch from
+  // `flusher_batch` up to `flusher_max_batch` over the same ramp; while
+  // the Demand lane is deeper than the worker count the controller backs
+  // off (doubled cadence, halved batch) so cleaning never competes with
+  // waiting misses for the disk. Deterministic given a deterministic
+  // fetch stream (the inputs are pool-local counters).
+  bool flusher_adaptive = false;
+  size_t flusher_min_every = 8;
+  size_t flusher_max_every = 256;
+  size_t flusher_max_batch = 32;
+  double flusher_dirty_low = 0.10;
+  double flusher_dirty_high = 0.50;
   // Scan readahead: a stride detector observes the fetch stream and
   // prefetches the next `readahead.window` pages of a detected sequential
   // run (the Example 1.2 scan shape). Requires io_dispatcher; inline mode
@@ -224,6 +256,27 @@ class BufferPool final : public PoolInterface {
     auto guard = Lock();
     return free_frames_.size();
   }
+  // In-flight write-behind victim writes; 0 after Quiesce().
+  size_t PendingVictimWriteCount() const {
+    auto guard = Lock();
+    return pending_victim_writes_.size();
+  }
+  // Evicted pages whose write-behind failed AND whose re-admission found
+  // no frame: their images are parked (no data loss) until a fetch
+  // re-admits them, a flush persists them, or a delete drops them.
+  size_t ParkedVictimCount() const {
+    auto guard = Lock();
+    return parked_victims_.size();
+  }
+  // The flusher cadence/batch currently in force (the configured constants
+  // unless flusher_adaptive re-planned them). Exposed for tests and
+  // benches observing the controller.
+  size_t flusher_cadence() const {
+    return adaptive_every_.load(std::memory_order_relaxed);
+  }
+  size_t flusher_batch_size() const {
+    return adaptive_batch_.load(std::memory_order_relaxed);
+  }
 
  private:
   // One tracked in-flight read (a miss or a prefetch). Waiters sleep on
@@ -256,6 +309,10 @@ class BufferPool final : public PoolInterface {
     std::atomic<uint64_t> prefetch_used{0};
     std::atomic<uint64_t> prefetch_dropped{0};
     std::atomic<uint64_t> background_cleans{0};
+    std::atomic<uint64_t> writebehind_writes{0};
+    std::atomic<uint64_t> writebehind_readmits{0};
+    std::atomic<uint64_t> io_drops_flush{0};
+    std::atomic<uint64_t> io_drops_prefetch{0};
     std::atomic<uint64_t> optimistic_hits{0};
     std::atomic<uint64_t> optimistic_fallbacks{0};
     std::atomic<uint64_t> pin_cas_retries{0};
@@ -278,6 +335,17 @@ class BufferPool final : public PoolInterface {
     stats_.latch_acquires.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // One in-flight write-behind victim write: the evicted page's image,
+  // copied out of the frame before the frame was reused ("pinned copy").
+  // Waiters (a re-fetch of the page, a fence) sleep on `cv` with the pool
+  // latch; the writer marks `done`, erases the map entry and notifies.
+  struct VictimWrite {
+    std::unique_ptr<char[]> image;
+    Status status;
+    bool done = false;
+    std::condition_variable cv;
+  };
+
   // Disk I/O under options_.io_retry, with the pool's failure/retry
   // accounting. Caller holds the latch.
   Status DiskRead(PageId p, char* out);
@@ -289,9 +357,18 @@ class BufferPool final : public PoolInterface {
   // nominate pinned victims (SetEvictable is unused there — pin counts
   // are ground truth); they are skipped under the bucket handshake and
   // restored afterwards.
-  Result<FrameId> AcquireFrame();
+  //
+  // Write-behind: when `deferred_writes` is non-null and write-behind is
+  // in force, a dirty victim's image is copied into a VictimWrite entry,
+  // the victim's id is appended to `deferred_writes`, and the frame is
+  // returned immediately — the caller MUST pass the list to
+  // LaunchDeferredVictimWrites after releasing the latch. A null
+  // `deferred_writes` forces the synchronous write-back (used on failure
+  // paths that must not cascade).
+  Result<FrameId> AcquireFrame(std::vector<PageId>* deferred_writes);
   // NewPage/AdmitNewPage body; the latch is already held.
-  Result<Page*> AdmitNewPageLocked(PageId p);
+  Result<Page*> AdmitNewPageLocked(PageId p,
+                                   std::vector<PageId>* deferred_writes);
   // Applies every buffered access record to the policy (in optimistic
   // mode, dropping records whose page was evicted since — see
   // AccessBuffer::Drain). Caller holds the latch. Declared const because
@@ -308,8 +385,9 @@ class BufferPool final : public PoolInterface {
   // (both hit paths share it so trigger points are mode-independent).
   bool TickFlusher() {
     if (!options_.flusher || io_ == nullptr) return false;
-    uint64_t every =
-        options_.flusher_every_ops == 0 ? 1 : options_.flusher_every_ops;
+    // adaptive_every_ holds flusher_every_ops verbatim unless
+    // flusher_adaptive re-planned it (never 0; the ctor clamps).
+    uint64_t every = adaptive_every_.load(std::memory_order_relaxed);
     return (ops_since_flusher_.fetch_add(1, std::memory_order_relaxed) + 1) %
                every ==
            0;
@@ -339,6 +417,29 @@ class BufferPool final : public PoolInterface {
   // flusher pass is due. Caller holds the latch.
   void CollectBackgroundWorkLocked(PageId p, std::vector<PageId>* targets,
                                    bool* flusher_due);
+
+  // --- Write-behind internals (write_behind_ only) ---
+  // Posts each deferred victim write on the Flush lane; a full lane falls
+  // back to executing it synchronously right here (io_drops_flush +
+  // dirty_writebacks instead of writebehind_writes). Caller must NOT hold
+  // the latch. Safe from dispatcher workers (TryPost never blocks).
+  void LaunchDeferredVictimWrites(const std::vector<PageId>& victims);
+  // Writes one pending victim image to disk (latch released for the I/O),
+  // then completes the VictimWrite entry: on failure the page is
+  // re-admitted dirty (or parked), waiters and Quiesce are woken.
+  // `foreground` selects the counter: the submitting thread ran it
+  // synchronously (dirty_writebacks) vs a Flush-lane worker
+  // (writebehind_writes).
+  void ExecuteVictimWrite(PageId v, bool foreground);
+  // Exact rollback of a failed write-behind: re-admit `v` dirty and
+  // unpinned via ReplacementPolicy::Restore into a freshly acquired frame
+  // (synchronous write-backs only — no cascading deferral), or park the
+  // image when every frame is pinned. Caller holds the latch.
+  void ReadmitFailedVictimLocked(PageId v, std::unique_ptr<char[]> image);
+  // Adaptive-pacing controller (flusher_adaptive only): re-plans
+  // adaptive_every_/adaptive_batch_ from the measured dirty ratio and the
+  // Demand-lane depth. Called at the end of each flusher pass, latch held.
+  void ReplanFlusherLocked();
 
   mutable std::mutex latch_;
   size_t capacity_;
@@ -373,6 +474,27 @@ class BufferPool final : public PoolInterface {
   PageTable page_table_;
   // The per-page request tracker: at most one in-flight read per page.
   std::unordered_map<PageId, std::shared_ptr<PendingIo>> pending_reads_;
+  // options_.write_behind in force: requires a dispatcher in worker mode
+  // (inline mode keeps the direct path's exact disk-op order).
+  bool write_behind_ = false;
+  // At most one in-flight victim write per page: created at eviction time
+  // (pinned copy), erased on completion. A page is never simultaneously
+  // resident, in pending_reads_, and here — fetches of such a page wait
+  // out the write first.
+  std::unordered_map<PageId, std::shared_ptr<VictimWrite>> pending_victim_writes_;
+  // Failed write-behind images with nowhere to go (every frame pinned at
+  // re-admit time). Resolved by the next fetch (re-admit), FlushPage/
+  // FlushAll (persist), or DeletePage (discard). Never dropped silently.
+  std::unordered_map<PageId, std::unique_ptr<char[]>> parked_victims_;
+  // Pages whose image snapshot the flusher is writing right now with the
+  // latch released (the page itself stays resident and pinned for the
+  // duration). FencePageLocked waits these out so an explicit flush or
+  // delete never races a newer image against the in-flight snapshot;
+  // waiters sleep on quiesce_cv_.
+  std::unordered_set<PageId> flusher_cleaning_;
+  // Prefetch reads currently in flight, bounded by
+  // ReadaheadOptions::max_inflight in worker mode (latch-guarded).
+  size_t inflight_prefetches_ = 0;
   // Background work items (prefetches + scheduled flusher passes) issued
   // but not finished; Quiesce waits for 0 alongside pending_reads_.
   uint64_t inflight_background_ = 0;
@@ -381,6 +503,11 @@ class BufferPool final : public PoolInterface {
   // reset) so latch-free hits pace the flusher identically to latched
   // ones.
   std::atomic<uint64_t> ops_since_flusher_{0};
+  // The flusher cadence/batch in force: the configured constants, unless
+  // flusher_adaptive re-plans them after each pass. Atomics because
+  // TickFlusher reads the cadence on the latch-free hit path.
+  std::atomic<uint64_t> adaptive_every_{0};
+  std::atomic<uint64_t> adaptive_batch_{0};
   mutable AtomicPoolStats stats_;
 };
 

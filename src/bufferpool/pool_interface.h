@@ -40,6 +40,22 @@ namespace lruk {
 // dirty page ahead of eviction (they are not `dirty_writebacks`, which
 // stay eviction-time only).
 //
+// Write-behind counters (all zero unless BufferPoolOptions::write_behind
+// is on — see DESIGN.md "Priority lanes, write-behind eviction, and
+// flusher pacing"): with write-behind, `dirty_writebacks` narrows to
+// victim writes the evicting thread performed synchronously (the
+// foreground-stall metric: inline mode, or a full Flush lane), while
+// `writebehind_writes` counts victim writes completed off the miss path
+// from a pinned copy. `writebehind_readmits` counts failed write-behind
+// writes whose page was re-admitted dirty (exact rollback via
+// ReplacementPolicy::Restore — the eviction stays counted).
+// `io_drops_flush`/`io_drops_prefetch` count this pool's TryPost
+// submissions refused by a full dispatcher lane, per request class
+// (dropped flusher passes and write-behind fallbacks on the Flush lane;
+// on the Prefetch lane a queue-full subset of `prefetch_dropped`) —
+// with a shared dispatcher these are counted at the submitting pool, so
+// shard sums stay exact.
+//
 // Optimistic-path counters (all zero unless BufferPoolOptions::
 // optimistic_hits is on — see DESIGN.md "Optimistic page table & pin
 // protocol"): `optimistic_hits` counts hits served entirely without the
@@ -65,6 +81,10 @@ struct BufferPoolStats {
   uint64_t prefetch_used = 0;
   uint64_t prefetch_dropped = 0;
   uint64_t background_cleans = 0;
+  uint64_t writebehind_writes = 0;
+  uint64_t writebehind_readmits = 0;
+  uint64_t io_drops_flush = 0;
+  uint64_t io_drops_prefetch = 0;
   uint64_t optimistic_hits = 0;
   uint64_t optimistic_fallbacks = 0;
   uint64_t pin_cas_retries = 0;
@@ -89,6 +109,10 @@ struct BufferPoolStats {
     prefetch_used += other.prefetch_used;
     prefetch_dropped += other.prefetch_dropped;
     background_cleans += other.background_cleans;
+    writebehind_writes += other.writebehind_writes;
+    writebehind_readmits += other.writebehind_readmits;
+    io_drops_flush += other.io_drops_flush;
+    io_drops_prefetch += other.io_drops_prefetch;
     optimistic_hits += other.optimistic_hits;
     optimistic_fallbacks += other.optimistic_fallbacks;
     pin_cas_retries += other.pin_cas_retries;

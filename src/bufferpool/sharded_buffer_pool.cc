@@ -24,8 +24,10 @@ ShardedBufferPool::ShardedBufferPool(size_t capacity, size_t num_shards,
     // One dispatcher (one worker fleet, one bounded queue) serves every
     // shard; the shards receive it as a shared dispatcher instead of each
     // spinning up its own.
-    io_ = std::make_unique<IoDispatcher>(IoDispatcherOptions{
-        shard_options.io_workers, shard_options.io_queue_depth});
+    io_ = std::make_unique<IoDispatcher>(
+        IoDispatcherOptions{shard_options.io_workers,
+                            shard_options.io_queue_depth,
+                            shard_options.io_starvation_budget});
     if (shard_options.readahead.enabled) {
       readahead_ =
           std::make_unique<ReadaheadDetector>(shard_options.readahead);

@@ -78,13 +78,19 @@ class ReplacementPolicy {
   // evictable. Does not tick the clock.
   virtual std::optional<PageId> Evict() = 0;
 
-  // Re-registers a page Evict() just returned, because the eviction's side
-  // effects failed (the dirty write-back errored) and the frame still holds
-  // the page. Precondition: !IsResident(p), and p was the most recent
-  // Evict() result. Afterwards p is resident and evictable again, as if
-  // Evict() had never chosen it. The default costs one clock tick by
+  // Re-registers a page Evict() returned, because the eviction's side
+  // effects failed (the dirty write-back errored) or were provisional (a
+  // flusher peek; a write-behind victim write still in flight).
+  // Precondition: !IsResident(p) and p was returned by Evict() with no
+  // intervening Admit/Restore of p. Afterwards p is resident and
+  // evictable again, as if Evict() had never chosen it. Callers use this
+  // immediately (synchronous write-back failure), in LIFO order over a
+  // batch (the flusher's Evict×k peek), or DELAYED — a failed
+  // write-behind write re-admits its page after unrelated admissions and
+  // evictions have happened. The default costs one clock tick by
   // re-admitting; policies that retain history (LRU-K) override it to
-  // restore exactly, without a tick.
+  // restore exactly from the retained block, without a tick (falling back
+  // to a fresh re-admission if the history budget has since dropped it).
   virtual void Restore(PageId p) { Admit(p, AccessType::kRead); }
 
   // Forgets the resident page `p` without an eviction decision (e.g. the

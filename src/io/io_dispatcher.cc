@@ -4,6 +4,14 @@
 
 namespace lruk {
 
+namespace {
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+}  // namespace
+
 // Stack-allocated completion signal for Run(): the submitting thread waits
 // on it, the executing worker fires it. Lives in the submitter's frame, so
 // the worker must touch it only before signalling.
@@ -16,6 +24,7 @@ struct IoDispatcher::Completion {
 IoDispatcher::IoDispatcher(IoDispatcherOptions options) : options_(options) {
   LRUK_ASSERT(options_.workers == 0 || options_.queue_depth >= 1,
               "worker-mode dispatcher needs a queue");
+  if (options_.starvation_budget == 0) options_.starvation_budget = 1;
   workers_.reserve(options_.workers);
   for (size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -29,20 +38,63 @@ IoDispatcher::~IoDispatcher() {
   }
   work_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
-  // Workers drain the queue before exiting, so nothing accepted is lost.
-  LRUK_ASSERT(queue_.empty(), "dispatcher destroyed with queued work");
+  // Workers drain the lanes before exiting, so nothing accepted is lost.
+  LRUK_ASSERT(TotalQueuedLocked() == 0, "dispatcher destroyed with queued work");
+}
+
+size_t IoDispatcher::PickLaneLocked() {
+  constexpr size_t kDemand = static_cast<size_t>(IoClass::kDemand);
+  size_t background = kIoClassCount;
+  for (size_t lane = kDemand + 1; lane < kIoClassCount; ++lane) {
+    if (!lanes_[lane].empty()) {
+      background = lane;
+      break;
+    }
+  }
+  if (!lanes_[kDemand].empty()) {
+    // Strict demand preference — until the anti-starvation budget runs
+    // out with background work still waiting.
+    if (background == kIoClassCount ||
+        demand_streak_ < options_.starvation_budget) {
+      ++demand_streak_;
+      return kDemand;
+    }
+    demand_streak_ = 0;
+    ++stats_.starvation_grants;
+    return background;
+  }
+  demand_streak_ = 0;
+  return background;  // kIoClassCount when everything is empty.
+}
+
+void IoDispatcher::EnqueueLocked(Item item, IoClass cls) {
+  size_t lane = static_cast<size_t>(cls);
+  item.enqueued = std::chrono::steady_clock::now();
+  lanes_[lane].push_back(std::move(item));
+  IoLaneStats& ls = stats_.lanes[lane];
+  if (lanes_[lane].size() > ls.queue_highwater) {
+    ls.queue_highwater = lanes_[lane].size();
+  }
+  size_t total = TotalQueuedLocked();
+  if (total > stats_.queue_highwater) stats_.queue_highwater = total;
 }
 
 void IoDispatcher::WorkerLoop() {
   std::unique_lock<std::mutex> guard(mutex_);
   for (;;) {
-    work_cv_.wait(guard, [&] { return !queue_.empty() || stopping_; });
-    if (queue_.empty()) return;  // stopping_ and fully drained.
-    Item item = std::move(queue_.front());
-    queue_.pop_front();
+    work_cv_.wait(guard, [&] { return TotalQueuedLocked() > 0 || stopping_; });
+    size_t lane = PickLaneLocked();
+    if (lane == kIoClassCount) return;  // stopping_ and fully drained.
+    Item item = std::move(lanes_[lane].front());
+    lanes_[lane].pop_front();
     ++executing_;
     ++stats_.executed_async;
-    space_cv_.notify_one();
+    IoLaneStats& ls = stats_.lanes[lane];
+    ++ls.executed;
+    double waited = MicrosSince(item.enqueued);
+    ls.wait_micros += waited;
+    if (waited > ls.max_wait_micros) ls.max_wait_micros = waited;
+    space_cv_.notify_all();
     guard.unlock();
     item.fn();
     if (item.completion != nullptr) {
@@ -52,16 +104,20 @@ void IoDispatcher::WorkerLoop() {
     }
     guard.lock();
     --executing_;
-    if (queue_.empty() && executing_ == 0) idle_cv_.notify_all();
+    if (TotalQueuedLocked() == 0 && executing_ == 0) idle_cv_.notify_all();
   }
 }
 
-void IoDispatcher::Run(std::function<void()> fn) {
+void IoDispatcher::Run(std::function<void()> fn, IoClass cls) {
+  size_t lane = static_cast<size_t>(cls);
   if (inline_mode()) {
     {
       std::lock_guard<std::mutex> guard(mutex_);
       ++stats_.submitted;
       ++stats_.executed_inline;
+      IoLaneStats& ls = stats_.lanes[lane];
+      ++ls.accepted;
+      ++ls.executed;
     }
     fn();
     return;
@@ -71,38 +127,39 @@ void IoDispatcher::Run(std::function<void()> fn) {
     std::unique_lock<std::mutex> guard(mutex_);
     ++stats_.submitted;
     space_cv_.wait(guard,
-                   [&] { return queue_.size() < options_.queue_depth; });
-    queue_.push_back(Item{std::move(fn), &completion});
-    if (queue_.size() > stats_.queue_highwater) {
-      stats_.queue_highwater = queue_.size();
-    }
+                   [&] { return lanes_[lane].size() < options_.queue_depth; });
+    ++stats_.lanes[lane].accepted;
+    EnqueueLocked(Item{std::move(fn), &completion, {}}, cls);
   }
   work_cv_.notify_one();
   std::unique_lock<std::mutex> wait(completion.m);
   completion.cv.wait(wait, [&] { return completion.done; });
 }
 
-bool IoDispatcher::TryPost(std::function<void()> fn) {
+bool IoDispatcher::TryPost(std::function<void()> fn, IoClass cls) {
+  size_t lane = static_cast<size_t>(cls);
   if (inline_mode()) {
     {
       std::lock_guard<std::mutex> guard(mutex_);
       ++stats_.posted;
       ++stats_.executed_inline;
+      IoLaneStats& ls = stats_.lanes[lane];
+      ++ls.accepted;
+      ++ls.executed;
     }
     fn();
     return true;
   }
   {
     std::lock_guard<std::mutex> guard(mutex_);
-    if (queue_.size() >= options_.queue_depth) {
+    if (lanes_[lane].size() >= options_.queue_depth) {
       ++stats_.rejected;
+      ++stats_.lanes[lane].rejected;
       return false;
     }
     ++stats_.posted;
-    queue_.push_back(Item{std::move(fn), nullptr});
-    if (queue_.size() > stats_.queue_highwater) {
-      stats_.queue_highwater = queue_.size();
-    }
+    ++stats_.lanes[lane].accepted;
+    EnqueueLocked(Item{std::move(fn), nullptr, {}}, cls);
   }
   work_cv_.notify_one();
   return true;
@@ -110,7 +167,13 @@ bool IoDispatcher::TryPost(std::function<void()> fn) {
 
 void IoDispatcher::Drain() {
   std::unique_lock<std::mutex> guard(mutex_);
-  idle_cv_.wait(guard, [&] { return queue_.empty() && executing_ == 0; });
+  idle_cv_.wait(guard,
+                [&] { return TotalQueuedLocked() == 0 && executing_ == 0; });
+}
+
+size_t IoDispatcher::LaneDepth(IoClass cls) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return lanes_[static_cast<size_t>(cls)].size();
 }
 
 IoDispatcherStats IoDispatcher::stats() const {

@@ -43,6 +43,12 @@ struct ReadaheadOptions {
   // workload occasionally lands on neighbouring hot pages; a real scan
   // steps by a small constant).
   int64_t max_stride = 4;
+  // Cap on prefetch reads concurrently in flight per pool (0 = the
+  // window). Prefetch rides the dispatcher's lowest-priority lane, so a
+  // deep backlog would only ever be serviced by anti-starvation grants —
+  // better to not register targets the lane cannot absorb (enforced by
+  // the pools, not the detector).
+  size_t max_inflight = 0;
 };
 
 class ReadaheadDetector {

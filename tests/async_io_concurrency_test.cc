@@ -17,6 +17,12 @@
 //    and FlushAll converges.
 //  * Same-page churn — a page-id range smaller than the thread count over
 //    a tiny pool forces constant coalesce/evict cycles without deadlock.
+//  * Anti-starvation property — under a sustained demand flood, every
+//    accepted Flush-lane item still executes within a bounded number of
+//    demand completions (the starvation budget at work).
+//  * Write-behind fault churn — threaded dirty-heavy traffic with
+//    probabilistic write faults over a write-behind pool: failed victim
+//    writes re-admit or park without losing images, frames, or counts.
 
 #include <atomic>
 #include <chrono>
@@ -32,6 +38,7 @@
 #include "bufferpool/sharded_buffer_pool.h"
 #include "core/lru_k.h"
 #include "gtest/gtest.h"
+#include "io/io_dispatcher.h"
 #include "storage/fault_injecting_disk_manager.h"
 #include "storage/sim_disk_manager.h"
 #include "util/random.h"
@@ -463,6 +470,226 @@ TEST(AsyncIoConcurrencyTest, SamePageChurnOverTinyPoolCoalescesConstantly) {
   EXPECT_GE(disk.TotalReads() + stats.coalesced_reads + exhausted.load(),
             stats.misses);
   EXPECT_TRUE(pool.FlushAll().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Priority lanes: the anti-starvation property under a demand flood.
+
+TEST(IoPriorityConcurrencyTest, FlushWorkIsBoundedlyDelayedByDemandFlood) {
+  constexpr size_t kBudget = 4;
+  constexpr size_t kQueueDepth = 32;
+  constexpr int kDemandThreads = 4;
+  constexpr int kDemandOpsPerThread = 500;
+  constexpr int kFlushItems = 50;
+  IoDispatcher io(IoDispatcherOptions{.workers = 2,
+                                      .queue_depth = kQueueDepth,
+                                      .starvation_budget = kBudget});
+
+  std::atomic<uint64_t> demand_done{0};
+  std::atomic<uint64_t> flush_done{0};
+  std::atomic<uint64_t> max_delay{0};  // Demand completions while queued.
+
+  std::vector<std::thread> demand_threads;
+  demand_threads.reserve(kDemandThreads);
+  for (int t = 0; t < kDemandThreads; ++t) {
+    demand_threads.emplace_back([&] {
+      for (int i = 0; i < kDemandOpsPerThread; ++i) {
+        io.Run([&] { demand_done.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  // Interleave flush posts with the flood; retry rejected posts (the lane
+  // is bounded) so every item is eventually ACCEPTED — the property below
+  // covers accepted items only.
+  std::thread flusher([&] {
+    for (int i = 0; i < kFlushItems; ++i) {
+      for (;;) {
+        uint64_t at_post = demand_done.load(std::memory_order_relaxed);
+        bool posted = io.TryPost(
+            [&, at_post] {
+              uint64_t delay =
+                  demand_done.load(std::memory_order_relaxed) - at_post;
+              uint64_t seen = max_delay.load(std::memory_order_relaxed);
+              while (delay > seen &&
+                     !max_delay.compare_exchange_weak(seen, delay)) {
+              }
+              flush_done.fetch_add(1, std::memory_order_relaxed);
+            },
+            IoClass::kFlush);
+        if (posted) break;
+        std::this_thread::yield();
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+  for (auto& t : demand_threads) t.join();
+  flusher.join();
+  io.Drain();
+
+  EXPECT_EQ(flush_done.load(), static_cast<uint64_t>(kFlushItems));
+  // Anti-starvation bound: an accepted flush item sits behind at most the
+  // items already in its lane (≤ queue_depth), each granted after at most
+  // `budget` demand dispatches, plus slack for the two workers' in-flight
+  // items and the racy read of the counter. The demand flood alone is
+  // 2000 completions — without the budget a flush item could wait out
+  // nearly all of them.
+  constexpr uint64_t kBound = (kQueueDepth + 1) * kBudget + 16;
+  EXPECT_LE(max_delay.load(), kBound);
+  IoDispatcherStats stats = io.stats();
+  EXPECT_GT(stats.starvation_grants, 0u);
+  EXPECT_EQ(stats.lane(IoClass::kFlush).executed,
+            static_cast<uint64_t>(kFlushItems));
+}
+
+// ---------------------------------------------------------------------------
+// Write-behind under threaded churn with injected write faults.
+
+TEST(WriteBehindConcurrencyTest, FaultChurnKeepsWriteBehindInvariants) {
+  SimDiskManager inner;
+  FaultInjectingDiskManager disk(&inner, /*seed=*/41);
+
+  BufferPoolOptions options;
+  options.io_dispatcher = true;
+  options.io_workers = 2;
+  options.io_queue_depth = 16;
+  options.write_behind = true;
+  options.flusher = true;
+  options.flusher_every_ops = 16;
+  options.flusher_batch = 2;
+  options.flusher_adaptive = true;
+  options.flusher_min_every = 4;
+  options.flusher_max_every = 64;
+  options.flusher_max_batch = 8;
+  options.batch_capacity = 64;
+
+  BufferPool pool(16, &disk,
+                  std::make_unique<LruKPolicy>(LruKOptions{.k = 2}),
+                  options);
+  std::vector<PageId> pages = AllocateDb(pool, 48);
+  ASSERT_TRUE(pool.FlushAll().ok());
+  // Write faults only: every fetch failure must then be a full pool (a
+  // parked image that cannot re-admit), never an I/O error surfacing on
+  // the read path.
+  disk.AddRule(FaultRule::FailWithProbability(FaultOp::kWrite, 0.1));
+
+  std::atomic<uint64_t> attempts{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      RandomEngine rng(/*seed=*/400 + t);
+      for (int i = 0; i < 2000; ++i) {
+        PageId p = pages[rng.NextUint64() % pages.size()];
+        bool write = rng.NextBernoulli(0.6);
+        attempts.fetch_add(1, std::memory_order_relaxed);
+        auto page = pool.FetchPage(
+            p, write ? AccessType::kWrite : AccessType::kRead);
+        if (!page.ok()) {
+          EXPECT_EQ(page.status().code(), StatusCode::kResourceExhausted);
+          continue;
+        }
+        if (write) {
+          uint64_t stamp = static_cast<uint64_t>(t) * 1000003 +
+                           static_cast<uint64_t>(i);
+          std::memcpy((*page)->Data() + (static_cast<size_t>(t) % 64) *
+                                            sizeof(stamp),
+                      &stamp, sizeof(stamp));
+        }
+        EXPECT_TRUE(pool.UnpinPage(p, write).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  disk.Heal();
+  pool.Quiesce();
+  BufferPoolStats stats = pool.stats();
+  // Every fetch resolved to exactly one hit or one miss — including
+  // parked re-admits (counted as misses) and victim-write waiters.
+  EXPECT_EQ(stats.hits + stats.misses, attempts.load());
+  // The write-behind machinery engaged, and failures were re-absorbed:
+  // either re-admitted or parked, never dropped.
+  EXPECT_GT(stats.writebehind_writes, 0u);
+  EXPECT_GT(stats.write_failures, 0u);
+  // Settled: no in-flight victim writes, all pins released, frame
+  // accounting balances (parked pages hold no frame).
+  EXPECT_EQ(pool.PendingVictimWriteCount(), 0u);
+  EXPECT_EQ(pool.PendingIoCount(), 0u);
+  EXPECT_EQ(pool.policy().EvictableCount(), pool.policy().ResidentCount());
+  EXPECT_EQ(pool.ResidentCount() + pool.FreeFrameCount(), pool.capacity());
+  // FlushAll persists every surviving dirty page AND every parked image.
+  EXPECT_TRUE(pool.FlushAll().ok());
+  EXPECT_EQ(pool.ParkedVictimCount(), 0u);
+  // Nothing was lost: every page is readable afterwards.
+  for (PageId p : pages) {
+    auto page = pool.FetchPage(p, AccessType::kRead);
+    ASSERT_TRUE(page.ok());
+    ASSERT_TRUE(pool.UnpinPage(p, false).ok());
+  }
+}
+
+TEST(WriteBehindConcurrencyTest, ShardedPoolChurnsWithWriteBehind) {
+  SimDiskManager inner;
+  FaultInjectingDiskManager disk(&inner, /*seed=*/43);
+
+  BufferPoolOptions options;
+  options.io_dispatcher = true;
+  options.io_workers = 4;
+  options.io_queue_depth = 16;
+  options.write_behind = true;
+  options.flusher = true;
+  options.flusher_every_ops = 16;
+  options.flusher_batch = 2;
+  options.flusher_adaptive = true;
+
+  ShardedBufferPool pool(
+      32, /*num_shards=*/4, &disk,
+      [](size_t, size_t) {
+        return std::make_unique<LruKPolicy>(LruKOptions{.k = 2});
+      },
+      options);
+  std::vector<PageId> pages = AllocateDb(pool, 96);
+  ASSERT_TRUE(pool.FlushAll().ok());
+  disk.AddRule(FaultRule::FailWithProbability(FaultOp::kWrite, 0.05));
+
+  std::atomic<uint64_t> attempts{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      RecursiveSkewDistribution dist(0.8, 0.2, pages.size());
+      RandomEngine rng(/*seed=*/500 + t);
+      for (int i = 0; i < 2000; ++i) {
+        PageId p = pages[dist.Sample(rng) - 1];
+        bool write = rng.NextBernoulli(0.6);
+        attempts.fetch_add(1, std::memory_order_relaxed);
+        auto page = pool.FetchPage(
+            p, write ? AccessType::kWrite : AccessType::kRead);
+        if (!page.ok()) {
+          EXPECT_EQ(page.status().code(), StatusCode::kResourceExhausted);
+          continue;
+        }
+        EXPECT_TRUE(pool.UnpinPage(p, write).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  disk.Heal();
+  pool.Quiesce();
+  BufferPoolStats stats = pool.stats();
+  EXPECT_EQ(stats.hits + stats.misses, attempts.load());
+  EXPECT_GT(stats.writebehind_writes, 0u);
+  EXPECT_TRUE(pool.FlushAll().ok());
+  size_t free_frames = 0;
+  for (size_t i = 0; i < pool.shard_count(); ++i) {
+    BufferPool& shard = pool.shard(i);
+    EXPECT_EQ(shard.PendingVictimWriteCount(), 0u);
+    EXPECT_EQ(shard.ParkedVictimCount(), 0u);
+    EXPECT_EQ(shard.PendingIoCount(), 0u);
+    free_frames += shard.FreeFrameCount();
+  }
+  EXPECT_EQ(pool.ResidentCount() + free_frames, pool.capacity());
 }
 
 }  // namespace
