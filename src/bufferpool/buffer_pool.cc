@@ -28,6 +28,11 @@ BufferPoolStats BufferPool::AtomicPoolStats::ToStats() const {
   s.io_drops_prefetch = io_drops_prefetch.load(std::memory_order_relaxed);
   s.optimistic_hits = optimistic_hits.load(std::memory_order_relaxed);
   s.optimistic_fallbacks = optimistic_fallbacks.load(std::memory_order_relaxed);
+  s.fallback_probe_miss = fallback_probe_miss.load(std::memory_order_relaxed);
+  s.fallback_version_conflict =
+      fallback_version_conflict.load(std::memory_order_relaxed);
+  s.fallback_resize = fallback_resize.load(std::memory_order_relaxed);
+  s.access_drops = access_drops.load(std::memory_order_relaxed);
   s.pin_cas_retries = pin_cas_retries.load(std::memory_order_relaxed);
   s.latch_acquires = latch_acquires.load(std::memory_order_relaxed);
   return s;
@@ -52,6 +57,10 @@ void BufferPool::AtomicPoolStats::Reset() {
   io_drops_prefetch.store(0, std::memory_order_relaxed);
   optimistic_hits.store(0, std::memory_order_relaxed);
   optimistic_fallbacks.store(0, std::memory_order_relaxed);
+  fallback_probe_miss.store(0, std::memory_order_relaxed);
+  fallback_version_conflict.store(0, std::memory_order_relaxed);
+  fallback_resize.store(0, std::memory_order_relaxed);
+  access_drops.store(0, std::memory_order_relaxed);
   pin_cas_retries.store(0, std::memory_order_relaxed);
   latch_acquires.store(0, std::memory_order_relaxed);
 }
@@ -106,17 +115,11 @@ BufferPool::BufferPool(size_t capacity, DiskManager* disk,
     uint64_t batch = options_.flusher_batch;
     adaptive_batch_.store(batch == 0 ? 1 : batch, std::memory_order_relaxed);
   }
-  // With a pool-level readahead detector, hits must pass through the
-  // latched path so the detector observes the full fetch stream — and
-  // once no pin or unpin can ever run latch-free, the rest of the
-  // optimistic machinery must stand down too: the skip-pinned eviction
-  // dance (Evict + Restore of a pinned nominee) churns LRU-K's bounded
-  // retained-history budget, which is only justified when latch-free
-  // pins make SetEvictable unusable. So a pool with its own detector
-  // runs fully latched; ShardedBufferPool keeps per-shard readahead
-  // off, so its shards stay fully optimistic under its own
-  // above-the-shards detector.
-  if (readahead_ != nullptr) optimistic_ = false;
+  // A pool-level readahead detector no longer forces a stand-down: its
+  // Observe is wait-free (an atomic history ring + stride voting, see
+  // io/readahead.h), so latch-free hits feed it directly, and batched
+  // victim nomination (EvictBatch) keeps skipped pinned nominees from
+  // churning LRU-K's bounded retained-history budget.
   fast_path_ = optimistic_;
   frames_ = std::make_unique<Page[]>(capacity_);
   frame_prefetched_ = std::make_unique<std::atomic<uint8_t>[]>(capacity_);
@@ -205,75 +208,102 @@ Result<FrameId> BufferPool::AcquireFrame(
   }
   // Optimistic mode: SetEvictable is unused (a latch-free unpin cannot
   // call it), so the policy nominates pinned pages too; pin counts are
-  // the ground truth. Pop victims until an unpinned one survives the
-  // bucket handshake, then restore the skipped ones in reverse pop order
-  // (exact for LRU-K — same Evict×n + Restore shape as the flusher peek;
+  // the ground truth. Nominate victims in escalating batches — EvictBatch
+  // defers the retained-history insertion, so a skipped pinned nominee
+  // costs one Restore instead of a full OnEvicted + resurrection round
+  // trip through LRU-K's bounded non-resident budget. Take the first
+  // unpinned nominee that survives the bucket handshake, then restore
+  // every unused one in reverse pop order (exact for LRU-K;
   // single-threaded there are no pinned nominations in steady fetch/unpin
-  // loops, so behaviour is identical to the latched path).
-  std::vector<PageId> skipped;
+  // loops, so the first batch of one behaves identically to the latched
+  // path's single Evict()).
+  std::vector<PageId>& nominees = nominee_scratch_;  // Latch-guarded.
+  std::vector<PageId>& batch = batch_scratch_;
+  nominees.clear();
+  size_t used = static_cast<size_t>(-1);
+  bool stop = false;
   Result<FrameId> result = Status::ResourceExhausted(
       "all buffer frames are pinned; cannot evict");
-  for (;;) {
-    auto victim = policy_->Evict();
-    if (!victim.has_value()) break;
-    FrameId f = 0;
-    bool found = page_table_.Find(*victim, &f);
-    LRUK_ASSERT(found, "policy evicted a page the pool does not hold");
-    Page& page = frames_[f];
-    // Invalidate the bucket FIRST, then read the pin count: any
-    // optimistic reader that pinned before our version bump is visible
-    // here (seq_cst store-load handshake); any later one fails its
-    // validation and undoes its pin. A transient speculative pin from a
-    // stale reader can park a +1 on any frame, so a nonzero count only
-    // means "skip", never "corrupt".
-    size_t bucket = page_table_.LockBucket(*victim);
-    if (page.pin_count_.load() != 0) {
-      page_table_.UnlockUnchanged(bucket);
-      skipped.push_back(*victim);
-      continue;
-    }
-    // Unpinned and the bucket is odd: no reader can validate a new pin
-    // until we release the bucket, so the frame is exclusively ours —
-    // the write-back (or write-behind image copy) below cannot race a
-    // page writer.
-    if (page.is_dirty()) {
-      if (defer) {
-        auto vw = std::make_shared<VictimWrite>();
-        vw->image = std::make_unique<char[]>(kPageSize);
-        std::memcpy(vw->image.get(), page.Data(), kPageSize);
-        pending_victim_writes_.emplace(*victim, std::move(vw));
-        deferred_writes->push_back(*victim);
-      } else {
-        Status written = DiskWrite(page.id_, page.Data());
-        if (!written.ok()) {
-          policy_->Restore(*victim);
-          page_table_.UnlockUnchanged(bucket);
-          result = written;
-          break;
-        }
-        ++stats_.dirty_writebacks;
+  size_t want = 1;
+  while (!stop) {
+    if (policy_->EvictBatch(want, &batch) == 0) break;
+    for (PageId victim : batch) {
+      nominees.push_back(victim);
+      if (stop) continue;  // Unexamined tail of the batch: restore below.
+      FrameId f = 0;
+      bool found = page_table_.Find(victim, &f);
+      LRUK_ASSERT(found, "policy evicted a page the pool does not hold");
+      Page& page = frames_[f];
+      // Invalidate the bucket FIRST, then read the pin count: any
+      // optimistic reader that pinned before our version bump is visible
+      // here (seq_cst store-load handshake); any later one fails its
+      // validation and undoes its pin. A transient speculative pin from a
+      // stale reader can park a +1 on any frame, so a nonzero count only
+      // means "skip", never "corrupt".
+      size_t bucket = page_table_.LockBucket(victim);
+      if (page.pin_count_.load() != 0) {
+        page_table_.UnlockUnchanged(bucket);
+        continue;
       }
+      // Unpinned and the bucket is odd: no reader can validate a new pin
+      // until we release the bucket, so the frame is exclusively ours —
+      // the write-back (or write-behind image copy) below cannot race a
+      // page writer.
+      if (page.is_dirty()) {
+        if (defer) {
+          auto vw = std::make_shared<VictimWrite>();
+          vw->image = std::make_unique<char[]>(kPageSize);
+          std::memcpy(vw->image.get(), page.Data(), kPageSize);
+          pending_victim_writes_.emplace(victim, std::move(vw));
+          deferred_writes->push_back(victim);
+        } else {
+          Status written = DiskWrite(page.id_, page.Data());
+          if (!written.ok()) {
+            // The failed nominee is restored below with the rest (it is
+            // the most recent examined pop, so reverse order restores it
+            // in its exact Evict-undo position).
+            page_table_.UnlockUnchanged(bucket);
+            result = written;
+            stop = true;
+            continue;
+          }
+          ++stats_.dirty_writebacks;
+        }
+      }
+      page_table_.UnlockErased(bucket);
+      page.id_ = kInvalidPageId;
+      page.dirty_.store(false, std::memory_order_relaxed);
+      ++stats_.evictions;
+      result = f;
+      used = nominees.size() - 1;
+      stop = true;
     }
-    page_table_.UnlockErased(bucket);
-    page.id_ = kInvalidPageId;
-    page.dirty_.store(false, std::memory_order_relaxed);
-    ++stats_.evictions;
-    result = f;
-    break;
+    // Every nominee so far was pinned: widen the net.
+    want = want < 4 ? 4 : 16;
   }
-  for (auto it = skipped.rbegin(); it != skipped.rend(); ++it) {
-    policy_->Restore(*it);
+  for (size_t i = nominees.size(); i-- > 0;) {
+    if (i != used) policy_->Restore(nominees[i]);
   }
   return result;
 }
 
 void BufferPool::DrainAccessBufferLocked() const {
   // unique_ptr members are shallow-const, so observation paths (stats)
-  // can drain through the same helper as mutating ones. In optimistic
-  // mode records for since-evicted pages are dropped: a latch-free
-  // pin + publish + unpin can complete entirely inside another thread's
-  // latch hold, so the page may be gone before its record drains.
-  if (access_buffer_ != nullptr) access_buffer_->Drain(*policy_, optimistic_);
+  // can drain through the same helper as mutating ones. Records for
+  // since-evicted pages are dropped and counted (access_drops): with the
+  // lock-free ring a record can stall behind another producer's
+  // unpublished claim and surface only after its page was evicted, and
+  // with optimistic_hits a latch-free pin + publish + unpin can complete
+  // entirely inside another thread's latch hold — so residency at drain
+  // time is the only safe filter. Single-threaded nothing is ever
+  // dropped: every eviction point drains first, and the ring is exactly
+  // FIFO without concurrent producers.
+  if (access_buffer_ == nullptr) return;
+  size_t dropped = 0;
+  access_buffer_->Drain(*policy_, /*skip_non_resident=*/true, &dropped);
+  if (dropped != 0) {
+    stats_.access_drops.fetch_add(dropped, std::memory_order_relaxed);
+  }
 }
 
 void BufferPool::FinishPendingLocked(PageId p,
@@ -416,10 +446,10 @@ void BufferPool::ExecutePrefetch(PageId p) {
   quiesce_cv_.notify_all();
 }
 
-void BufferPool::CollectBackgroundWorkLocked(PageId p,
+void BufferPool::CollectBackgroundWorkLocked(PageId p, bool observe,
                                              std::vector<PageId>* targets,
                                              bool* flusher_due) {
-  if (readahead_ != nullptr) {
+  if (readahead_ != nullptr && observe) {
     readahead_->Observe(p, &readahead_scratch_);
     for (PageId q : readahead_scratch_) {
       if (RegisterPrefetchLocked(q)) targets->push_back(q);
@@ -484,8 +514,8 @@ void BufferPool::RequestPrefetch(PageId p) {
 void BufferPool::RunFlusherPass() {
   auto guard = Lock();
   DrainAccessBufferLocked();
-  // Peek the next victims without evicting: Evict() pops them in victim
-  // order, Restore() puts them back exactly (LRU-K resurrects the HIST
+  // Peek the next victims without evicting: EvictBatch pops them in
+  // victim order, Restore() puts them back exactly (LRU-K resurrects the HIST
   // block without a tick; policies with the default re-admitting Restore
   // pay one tick per peeked page — the flusher is opt-in). LIFO restore
   // order keeps Restore's "most recent Evict result" contract.
@@ -502,22 +532,26 @@ void BufferPool::RunFlusherPass() {
   if (!optimistic_) {
     size_t want = batch;
     if (want > policy_->EvictableCount()) want = policy_->EvictableCount();
-    victims.reserve(want);
-    for (size_t i = 0; i < want; ++i) {
-      auto victim = policy_->Evict();
-      if (!victim.has_value()) break;
-      victims.push_back(*victim);
-    }
+    policy_->EvictBatch(want, &victims);
     clean_set = victims;
   } else {
-    while (clean_set.size() < batch) {
-      auto victim = policy_->Evict();
-      if (!victim.has_value()) break;
-      victims.push_back(*victim);
-      FrameId f = 0;
-      bool found = page_table_.Find(*victim, &f);
-      LRUK_ASSERT(found, "flusher peeked a page the pool does not hold");
-      if (frames_[f].pin_count() == 0) clean_set.push_back(*victim);
+    // EvictBatch keeps the pinned-nominee churn off the retained-history
+    // budget here too; chunk size tracks how many unpinned pages are
+    // still wanted, so the pop sequence matches the latched peek exactly
+    // when nothing is pinned.
+    std::vector<PageId> chunk;
+    bool dry = false;
+    while (clean_set.size() < batch && !dry) {
+      size_t want = batch - clean_set.size();
+      if (policy_->EvictBatch(want, &chunk) < want) dry = true;
+      for (PageId victim : chunk) {
+        victims.push_back(victim);
+        if (clean_set.size() >= batch) continue;
+        FrameId f = 0;
+        bool found = page_table_.Find(victim, &f);
+        LRUK_ASSERT(found, "flusher peeked a page the pool does not hold");
+        if (frames_[f].pin_count() == 0) clean_set.push_back(victim);
+      }
     }
   }
   for (auto it = victims.rbegin(); it != victims.rend(); ++it) {
@@ -627,9 +661,14 @@ void BufferPool::ReplanFlusherLocked() {
   adaptive_batch_.store(next_batch, std::memory_order_relaxed);
 }
 
-Page* BufferPool::TryOptimisticHit(PageId p, AccessType type) {
+Page* BufferPool::TryOptimisticHit(PageId p, AccessType type,
+                                   bool* observable) {
   PageTable::Snapshot snap;
-  if (!page_table_.OptimisticFind(p, &snap)) return nullptr;
+  PageTable::ProbeFail why = PageTable::ProbeFail::kNone;
+  if (!page_table_.OptimisticFind(p, &snap, &why)) {
+    CountOptimisticFallback(why);
+    return nullptr;
+  }
   Page& page = frames_[snap.frame];
   // Speculative pin, then re-validate: if the bucket's version moved, an
   // eviction/delete/shift touched the mapping and the pin may sit on the
@@ -639,17 +678,20 @@ Page* BufferPool::TryOptimisticHit(PageId p, AccessType type) {
   page.pin_count_.fetch_add(1);
   if (!page_table_.Validate(snap)) {
     page.pin_count_.fetch_sub(1);
-    stats_.optimistic_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    CountOptimisticFallback(PageTable::ProbeFail::kVersionConflict);
     return nullptr;
   }
   // Pinned and validated: p -> snap.frame is stable until our unpin.
   if (type == AccessType::kWrite) {
     page.dirty_.store(true, std::memory_order_release);
   }
-  if (frame_prefetched_[snap.frame].exchange(0, std::memory_order_relaxed) !=
-      0) {
+  const bool was_prefetched =
+      frame_prefetched_[snap.frame].exchange(0, std::memory_order_relaxed) !=
+      0;
+  if (was_prefetched) {
     stats_.prefetch_used.fetch_add(1, std::memory_order_relaxed);
   }
+  if (observable != nullptr) *observable = was_prefetched;
   stats_.hits.fetch_add(1, std::memory_order_relaxed);
   stats_.optimistic_hits.fetch_add(1, std::memory_order_relaxed);
   // Publish the reference after the pin, never under any latch. The pin
@@ -663,19 +705,58 @@ Page* BufferPool::TryOptimisticHit(PageId p, AccessType type) {
     DrainAccessBufferLocked();
     policy_->RecordAccess(p, type);
   }
-  if (TickFlusher()) {
-    {
-      auto guard = Lock();
-      ++inflight_background_;
+  // Background work, after the publish (same order as the latched hit
+  // branch, so an inline-mode prefetch admission drains this reference
+  // first). The detector sees only OBSERVABLE references — demand misses
+  // and prefetch-confirmation hits like this one. A steady-state warm
+  // hit skips Observe entirely: a scan's references are always misses or
+  // first touches of prefetched frames (a scan visits each page once),
+  // so nothing detectable is lost, and the detector's per-call cost —
+  // small, but a measurable fraction of a ~650 ns latch-free hit — comes
+  // off the warm path completely. A scan entering cold territory from a
+  // fully-resident stretch re-arms within min_run misses.
+  bool flusher_due = TickFlusher();
+  std::vector<PageId> targets;
+  if (readahead_ != nullptr && was_prefetched) {
+    readahead_->Observe(p, &targets);
+    if (!targets.empty()) {
+      // Latch-free pre-filter: drop targets the wait-free probe already
+      // finds resident. RegisterPrefetchLocked would refuse them anyway,
+      // so this only avoids taking the latch for triggers whose window
+      // is already cached (common when clustered non-scan traffic
+      // happens to vote) — exactly what the latched register would have
+      // concluded; uncertain probes (conflict/bound) are kept for it.
+      size_t kept = 0;
+      for (PageId q : targets) {
+        PageTable::Snapshot snap;
+        if (!page_table_.OptimisticFind(q, &snap)) targets[kept++] = q;
+      }
+      targets.resize(kept);
     }
-    LaunchBackgroundWork({}, /*flusher_due=*/true);
+  }
+  if (!targets.empty() || flusher_due) {
+    std::vector<PageId> registered;
+    auto guard = Lock();
+    for (PageId q : targets) {
+      if (RegisterPrefetchLocked(q)) registered.push_back(q);
+    }
+    if (flusher_due) ++inflight_background_;
+    guard.unlock();
+    LaunchBackgroundWork(registered, flusher_due);
   }
   return &page;
 }
 
 Result<Page*> BufferPool::FetchPage(PageId p, AccessType type) {
+  return FetchPage(p, type, nullptr);
+}
+
+Result<Page*> BufferPool::FetchPage(PageId p, AccessType type,
+                                    bool* observable) {
+  if (observable != nullptr) *observable = false;
   if (fast_path_) {
-    if (Page* page = TryOptimisticHit(p, type)) return page;
+    if (Page* page = TryOptimisticHit(p, type, observable)) return page;
+    if (observable != nullptr) *observable = false;  // Fallback re-decides.
   }
   auto guard = Lock();
   // Whether this fetch has already been counted (a coalesced waiter counts
@@ -687,9 +768,10 @@ Result<Page*> BufferPool::FetchPage(PageId p, AccessType type) {
     if (page_table_.Find(p, &f)) {
       Page& page = frames_[f];
       if (!counted) ++stats_.hits;
-      if (frame_prefetched_[f].exchange(0, std::memory_order_relaxed) != 0) {
-        ++stats_.prefetch_used;
-      }
+      const bool was_prefetched =
+          frame_prefetched_[f].exchange(0, std::memory_order_relaxed) != 0;
+      if (was_prefetched) ++stats_.prefetch_used;
+      if (observable != nullptr) *observable = was_prefetched;
       if (access_buffer_ == nullptr) policy_->RecordAccess(p, type);
       if (!optimistic_ &&
           page.pin_count_.load(std::memory_order_relaxed) == 0) {
@@ -702,7 +784,10 @@ Result<Page*> BufferPool::FetchPage(PageId p, AccessType type) {
       std::vector<PageId> targets;
       bool flusher_due = false;
       if (io_ != nullptr) {
-        CollectBackgroundWorkLocked(p, &targets, &flusher_due);
+        // Same observation policy as the optimistic hit path: only a
+        // prefetch-confirmation hit feeds the scan detector.
+        CollectBackgroundWorkLocked(p, was_prefetched, &targets,
+                                    &flusher_due);
       }
       guard.unlock();
       if (access_buffer_ != nullptr) {
@@ -741,6 +826,7 @@ Result<Page*> BufferPool::FetchPage(PageId p, AccessType type) {
       auto parked = parked_victims_.find(p);
       if (parked != parked_victims_.end()) {
         if (!counted) ++stats_.misses;  // Not resident; no physical read.
+        if (observable != nullptr) *observable = true;  // A miss.
         std::unique_ptr<char[]> image = std::move(parked->second);
         parked_victims_.erase(parked);
         DrainAccessBufferLocked();
@@ -799,6 +885,7 @@ Result<Page*> BufferPool::FetchPage(PageId p, AccessType type) {
   }
 
   if (!counted) ++stats_.misses;
+  if (observable != nullptr) *observable = true;  // A demand miss.
   // Deferred references precede this fault in the reference string; apply
   // them before the policy sees the admission (and before any eviction
   // decision, which must act on a fully drained view).
@@ -855,7 +942,11 @@ Result<Page*> BufferPool::FetchPage(PageId p, AccessType type) {
   if (!optimistic_) policy_->SetEvictable(p, false);
   std::vector<PageId> targets;
   bool flusher_due = false;
-  if (io_ != nullptr) CollectBackgroundWorkLocked(p, &targets, &flusher_due);
+  if (io_ != nullptr) {
+    // A demand miss is always observable: the cold front of a scan is a
+    // run of misses, which is exactly where detection must lock on.
+    CollectBackgroundWorkLocked(p, /*observe=*/true, &targets, &flusher_due);
+  }
   guard.unlock();
   LaunchBackgroundWork(targets, flusher_due);
   return &page;
@@ -918,7 +1009,8 @@ Result<Page*> BufferPool::AdmitNewPageLocked(
 Status BufferPool::UnpinPage(PageId p, bool dirty) {
   if (fast_path_) {
     PageTable::Snapshot snap;
-    if (page_table_.OptimisticFind(p, &snap)) {
+    PageTable::ProbeFail why = PageTable::ProbeFail::kNone;
+    if (page_table_.OptimisticFind(p, &snap, &why)) {
       // The caller's own pin (its API obligation) keeps p resident, and a
       // resident page never changes frames — so a consistent probe gives
       // the right frame even if the bucket shifts afterwards. Order
@@ -936,10 +1028,13 @@ Status BufferPool::UnpinPage(PageId p, bool dirty) {
         }
       }
       // cur dropped to 0: unpin of an unpinned page (or a misuse race) —
-      // let the latched path produce the authoritative error.
+      // let the latched path produce the authoritative error. (Not an
+      // attributed fallback: the probe itself succeeded.)
+    } else {
+      // Probe failed (absent or unstable): latched path for the
+      // authoritative NotFound / InvalidArgument.
+      CountOptimisticFallback(why);
     }
-    // Probe failed (absent or unstable): latched path for the
-    // authoritative NotFound / InvalidArgument.
   }
   auto guard = Lock();
   FrameId f = 0;

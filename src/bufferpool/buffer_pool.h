@@ -92,11 +92,10 @@ struct BufferPoolOptions {
   // can only publish its reference through the AccessBuffer. Replacement
   // behaviour is byte-identical to the latched path single-threaded;
   // concurrently, references to pages evicted before the next drain are
-  // dropped (bounded staleness, same contract as batching). On a
-  // non-sharded pool with readahead enabled, hits fall back to the
-  // latched path so the stride detector still observes them
-  // (ShardedBufferPool's pool-level detector is unaffected: its shards
-  // stay fully optimistic).
+  // dropped and counted (access_drops — bounded staleness, same contract
+  // as batching). Composes with readahead: the voting detector's Observe
+  // is wait-free, so a latch-free hit feeds it directly and only an
+  // actual stride trigger (or a due flusher pass) touches the latch.
   bool optimistic_hits = false;
 
   // --- Async I/O dispatcher (DESIGN.md "Async I/O dispatcher") ---
@@ -177,6 +176,18 @@ class BufferPool final : public PoolInterface {
 
   Result<Page*> FetchPage(PageId p,
                           AccessType type = AccessType::kRead) override;
+
+  // FetchPage variant reporting whether this reference is OBSERVABLE for
+  // scan detection: a demand miss, or the first demand touch of a
+  // prefetched frame (the reference that consumes the prefetched flag).
+  // Steady-state warm hits are not observable — the pools deliberately
+  // keep them off the detector (see CollectBackgroundWorkLocked): a scan
+  // only ever produces misses and prefetch-confirmation hits, so skipping
+  // the rest loses no detection while keeping the detector's cost off the
+  // latch-free warm path. ShardedBufferPool uses this to gate its
+  // pool-level detector the same way.
+  Result<Page*> FetchPage(PageId p, AccessType type, bool* observable);
+
   Result<Page*> NewPage() override;
 
   // Admits the already-allocated disk page `p` as a fresh resident page:
@@ -315,6 +326,10 @@ class BufferPool final : public PoolInterface {
     std::atomic<uint64_t> io_drops_prefetch{0};
     std::atomic<uint64_t> optimistic_hits{0};
     std::atomic<uint64_t> optimistic_fallbacks{0};
+    std::atomic<uint64_t> fallback_probe_miss{0};
+    std::atomic<uint64_t> fallback_version_conflict{0};
+    std::atomic<uint64_t> fallback_resize{0};
+    std::atomic<uint64_t> access_drops{0};
     std::atomic<uint64_t> pin_cas_retries{0};
     std::atomic<uint64_t> latch_acquires{0};
 
@@ -333,6 +348,28 @@ class BufferPool final : public PoolInterface {
   }
   void CountLatchAcquire() const {
     stats_.latch_acquires.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Counts one optimistic attempt that fell back to the latched path,
+  // attributed to its cause — optimistic_fallbacks stays the exact sum
+  // of the three attributed counters.
+  void CountOptimisticFallback(PageTable::ProbeFail why) const {
+    if (why == PageTable::ProbeFail::kNone) return;
+    stats_.optimistic_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    switch (why) {
+      case PageTable::ProbeFail::kMiss:
+        stats_.fallback_probe_miss.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case PageTable::ProbeFail::kVersionConflict:
+        stats_.fallback_version_conflict.fetch_add(1,
+                                                   std::memory_order_relaxed);
+        break;
+      case PageTable::ProbeFail::kDisplacementBound:
+        stats_.fallback_resize.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case PageTable::ProbeFail::kNone:
+        break;
+    }
   }
 
   // One in-flight write-behind victim write: the evicted page's image,
@@ -379,8 +416,10 @@ class BufferPool final : public PoolInterface {
   // validate, count, publish. Returns the pinned page, or null on any
   // miss/instability (caller falls back to the latched path). Never
   // acquires the latch except to drain a full access-buffer stripe or to
-  // schedule a due flusher pass.
-  Page* TryOptimisticHit(PageId p, AccessType type);
+  // schedule a due flusher pass. `observable` (optional) reports whether
+  // the hit consumed the prefetched flag (see the FetchPage overload).
+  Page* TryOptimisticHit(PageId p, AccessType type,
+                         bool* observable = nullptr);
   // Bumps the fetch counter and reports whether a flusher pass is due
   // (both hit paths share it so trigger points are mode-independent).
   bool TickFlusher() {
@@ -412,10 +451,13 @@ class BufferPool final : public PoolInterface {
   // hold the latch (inline mode runs them synchronously right here).
   void LaunchBackgroundWork(const std::vector<PageId>& prefetches,
                             bool flusher_due);
-  // Readahead bookkeeping on the fetch path: observes `p`, collects and
-  // registers prefetch targets into `targets`, and decides whether a
-  // flusher pass is due. Caller holds the latch.
-  void CollectBackgroundWorkLocked(PageId p, std::vector<PageId>* targets,
+  // Readahead bookkeeping on the fetch path: observes `p` (only when
+  // `observe` — the reference is a demand miss or a prefetch-confirmation
+  // hit; steady warm hits stay off the detector), collects and registers
+  // prefetch targets into `targets`, and decides whether a flusher pass
+  // is due. Caller holds the latch.
+  void CollectBackgroundWorkLocked(PageId p, bool observe,
+                                   std::vector<PageId>* targets,
                                    bool* flusher_due);
 
   // --- Write-behind internals (write_behind_ only) ---
@@ -449,8 +491,9 @@ class BufferPool final : public PoolInterface {
   // options_.optimistic_hits: mutation paths use the bucket handshake and
   // SetEvictable is suppressed (pin counts are the ground truth).
   bool optimistic_ = false;
-  // optimistic_ and no pool-level readahead detector to starve: FetchPage
-  // attempts TryOptimisticHit first.
+  // Mirrors optimistic_: FetchPage attempts TryOptimisticHit first. The
+  // readahead detector no longer forces a stand-down — its Observe is
+  // wait-free, so the latch-free hit feeds it directly.
   bool fast_path_ = false;
   // Present iff options_.batch_capacity > 0.
   std::unique_ptr<AccessBuffer> access_buffer_;
@@ -460,9 +503,16 @@ class BufferPool final : public PoolInterface {
   IoDispatcher* io_ = nullptr;
   // Present iff readahead is enabled on a non-sharded pool.
   std::unique_ptr<ReadaheadDetector> readahead_;
-  // Scratch for ReadaheadDetector::Observe (latch-guarded, reused to
-  // avoid a per-fetch allocation).
+  // Scratch for ReadaheadDetector::Observe on the LATCHED fetch path
+  // (latch-guarded, reused to avoid a per-fetch allocation). The
+  // latch-free hit path uses a stack-local vector instead: it only pays
+  // for an allocation when a stride actually triggers.
   std::vector<PageId> readahead_scratch_;
+  // AcquireFrame's batched-nomination scratch (latch-guarded like the
+  // frame it hands out): reused across misses so the steady-state miss
+  // path performs no allocation — the capacity sticks after warm-up.
+  std::vector<PageId> nominee_scratch_;
+  std::vector<PageId> batch_scratch_;
   // Frames live in a fixed array (Page is immovable now that its pin
   // count and dirty flag are atomics).
   std::unique_ptr<Page[]> frames_;

@@ -105,7 +105,9 @@ void PageTable::EraseFromLockedBucket(size_t hole) {
   bh.version.store(bh.version.load(std::memory_order_relaxed) + 1);  // even
 }
 
-bool PageTable::OptimisticFind(PageId p, Snapshot* out) const {
+bool PageTable::OptimisticFind(PageId p, Snapshot* out,
+                               ProbeFail* why) const {
+  if (why != nullptr) *why = ProbeFail::kNone;
   size_t i = IdealBucket(p);
   // Probes are bounded by the longest cluster; cap defensively so a
   // torn concurrent erase can never spin a reader (fallback is cheap).
@@ -114,10 +116,16 @@ bool PageTable::OptimisticFind(PageId p, Snapshot* out) const {
     uint64_t v = b.version.load();
     PageId got = b.page.load();
     if (got == p) {
-      if (v & 1) return false;  // mutating: fall back
+      if (v & 1) {  // mutating: fall back
+        if (why != nullptr) *why = ProbeFail::kVersionConflict;
+        return false;
+      }
       FrameId frame = b.frame.load();
       // Re-check the version so (page, frame) is a consistent pair.
-      if (b.version.load() != v) return false;
+      if (b.version.load() != v) {
+        if (why != nullptr) *why = ProbeFail::kVersionConflict;
+        return false;
+      }
       out->version = v;
       out->frame = frame;
       out->bucket = i;
@@ -126,9 +134,11 @@ bool PageTable::OptimisticFind(PageId p, Snapshot* out) const {
     if (got == kInvalidPageId) {
       // Could be a transient hole from a concurrent backward shift, but
       // a false miss only costs a latched lookup.
+      if (why != nullptr) *why = ProbeFail::kMiss;
       return false;
     }
   }
+  if (why != nullptr) *why = ProbeFail::kDisplacementBound;
   return false;
 }
 

@@ -101,12 +101,32 @@ class PageTable {
     size_t bucket = 0;
   };
 
+  // Why an optimistic probe gave up — the pool re-exports these as the
+  // fallback_probe_miss / fallback_version_conflict / fallback_resize
+  // counters so bench output can attribute latched fallbacks.
+  enum class ProbeFail : uint8_t {
+    kNone = 0,
+    // A clean empty bucket terminated the probe: the page is absent (or a
+    // concurrent backward shift left a transient hole — indistinguishable
+    // without the latch, and the latched path re-checks either way).
+    kMiss,
+    // The bucket was mid-mutation (odd version) or its version moved
+    // between the page and frame reads.
+    kVersionConflict,
+    // The displacement bound (a full ring scan) was exhausted without an
+    // empty terminator — the overload condition a growable table would
+    // resolve by resizing.
+    kDisplacementBound,
+  };
+
   // Probes for p without the latch. True = the bucket mapped p -> frame
   // with a stable (even) version across the reads; the caller may then
   // speculatively pin frames()[frame] and MUST re-check with Validate().
-  // False = absent or unstable; fall back to the latched path (which is
-  // authoritative), never conclude a miss from this alone.
-  bool OptimisticFind(PageId p, Snapshot* out) const;
+  // False = absent or unstable (`*why`, when non-null, says which); fall
+  // back to the latched path (which is authoritative), never conclude a
+  // miss from this alone.
+  bool OptimisticFind(PageId p, Snapshot* out,
+                      ProbeFail* why = nullptr) const;
 
   // True iff the bucket's version still equals the snapshot's — i.e. the
   // mapping held continuously since OptimisticFind, so a pin taken in

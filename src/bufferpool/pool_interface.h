@@ -60,14 +60,28 @@ namespace lruk {
 // optimistic_hits is on — see DESIGN.md "Optimistic page table & pin
 // protocol"): `optimistic_hits` counts hits served entirely without the
 // pool latch; they are also counted in `hits`. `optimistic_fallbacks`
-// counts optimistic attempts that pinned speculatively but failed bucket
-// validation and retried on the latched path (probe misses and unstable
-// buckets fall back silently without counting). `pin_cas_retries` counts
+// counts every optimistic attempt that ended up on the latched path, and
+// splits exactly into three attributed causes: `fallback_probe_miss`
+// (the probe found a clean empty bucket — the page is simply absent, so
+// single-threaded this equals the miss count plus any unpin probes of
+// non-resident pages), `fallback_version_conflict` (an odd or changed
+// bucket version, including post-pin validation failures — a concurrent
+// mutation raced the probe), and `fallback_resize` (the displacement
+// bound was exhausted without finding a terminator — the condition a
+// growable table would resolve by resizing; the fixed-size table falls
+// back to the exact latched probe instead). `pin_cas_retries` counts
 // failed compare-exchange iterations in latch-free unpins — a contention
 // proxy. `latch_acquires` counts acquisitions of the pool mutex (per
 // shard, summed); it is a proxy, not a lock census: condition-variable
 // re-acquisitions inside waits are not counted. With optimistic_hits on,
 // a warm hit+unpin pair performs zero latch acquisitions.
+//
+// `access_drops` counts buffered access records dropped at drain time
+// because their page had already been evicted (the record stalled behind
+// a lock-free publish gap, or — with optimistic_hits — its pin+publish+
+// unpin completed without the latch). Each drop is one policy reference
+// that was observed but never applied: bounded staleness, surfaced so
+// accounting like clock == hits + misses + admits - drops stays exact.
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -87,6 +101,10 @@ struct BufferPoolStats {
   uint64_t io_drops_prefetch = 0;
   uint64_t optimistic_hits = 0;
   uint64_t optimistic_fallbacks = 0;
+  uint64_t fallback_probe_miss = 0;
+  uint64_t fallback_version_conflict = 0;
+  uint64_t fallback_resize = 0;
+  uint64_t access_drops = 0;
   uint64_t pin_cas_retries = 0;
   uint64_t latch_acquires = 0;
 
@@ -115,6 +133,10 @@ struct BufferPoolStats {
     io_drops_prefetch += other.io_drops_prefetch;
     optimistic_hits += other.optimistic_hits;
     optimistic_fallbacks += other.optimistic_fallbacks;
+    fallback_probe_miss += other.fallback_probe_miss;
+    fallback_version_conflict += other.fallback_version_conflict;
+    fallback_resize += other.fallback_resize;
+    access_drops += other.access_drops;
     pin_cas_retries += other.pin_cas_retries;
     latch_acquires += other.latch_acquires;
     return *this;

@@ -53,16 +53,21 @@ ShardedBufferPool::ShardedBufferPool(size_t capacity, size_t num_shards,
 }
 
 Result<Page*> ShardedBufferPool::FetchPage(PageId p, AccessType type) {
-  auto page = shards_[ShardOf(p)]->FetchPage(p, type);
-  if (readahead_ != nullptr && page.ok()) {
-    // Observe the pool-level fetch stream and fan the prefetch targets
+  bool observable = false;
+  auto page = shards_[ShardOf(p)]->FetchPage(
+      p, type, readahead_ != nullptr ? &observable : nullptr);
+  if (readahead_ != nullptr && page.ok() && observable) {
+    // Observe the pool-level fetch stream (wait-free; concurrent fetch
+    // streams vote over the merged history) and fan the prefetch targets
     // out to their owning shards (each dedups against its own residents
-    // and in-flight tracker).
+    // and in-flight tracker). Only OBSERVABLE references — shard demand
+    // misses and prefetch-confirmation hits — feed the detector: a scan
+    // is made of exactly those, and steady warm hits skipping Observe
+    // keeps the detector tax off the shards' latch-free hit paths (the
+    // same policy BufferPool applies internally; see its FetchPage
+    // overload).
     std::vector<PageId> targets;
-    {
-      std::lock_guard<std::mutex> guard(readahead_latch_);
-      readahead_->Observe(p, &targets);
-    }
+    readahead_->Observe(p, &targets);
     for (PageId q : targets) shards_[ShardOf(q)]->RequestPrefetch(q);
   }
   return page;

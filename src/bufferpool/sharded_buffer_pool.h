@@ -152,8 +152,9 @@ class ShardedBufferPool final : public PoolInterface {
   std::unique_ptr<IoDispatcher> io_;
   // Pool-level scan detector: hash routing destroys per-shard
   // sequentiality, so the shards' own detectors stay off and the fetch
-  // stream is observed here, before routing. Guarded by readahead_latch_.
-  std::mutex readahead_latch_;
+  // stream is observed here, after each shard fetch. Observe is
+  // wait-free (stride voting over an atomic history ring), so no
+  // detector latch serializes the fetch streams.
   std::unique_ptr<ReadaheadDetector> readahead_;
   std::vector<std::unique_ptr<BufferPool>> shards_;
 };

@@ -1,38 +1,51 @@
-// AccessBuffer — a fixed-capacity, latch-free staging area for page
+// AccessBuffer — a fixed-capacity, lock-free staging area for page
 // references, decoupling *observing* a reference (hit path, no pool latch
 // for policy bookkeeping) from *applying* it to a ReplacementPolicy (batch
 // drain under the pool latch). This is the mechanism behind the pools'
-// `batch_capacity` option (see DESIGN.md "Batched access recording").
+// `batch_capacity` option (see DESIGN.md "Batched access recording" and
+// "Wait-free publish & batched nomination").
 //
 // Structure: one or more stripes, each a bounded ring of sequence-numbered
-// cells. A producer takes the stripe's micro-mutex (never the pool latch),
-// writes the `(page, process, access_type)` record into the tail cell,
-// publishes it with a release store on the cell's sequence number, and
-// only then advances the tail — so the published region of a stripe is
-// always contiguous. With `stripes == 1` the buffer is shared per pool
-// (per shard); with more stripes each thread hashes to its own ring, so
-// `stripes` at or above the expected thread count makes the micro-mutex
-// uncontended ("per-thread" mode).
+// cells. A producer claims a ticket with a single fetch_add on the
+// stripe's atomic tail (wait-free), then acquires its cell by CAS-ing the
+// cell's sequence number from `ticket` to `ticket | kClaimedBit`, writes
+// the `(page, process, access_type)` record, and publishes it with a
+// release store of `ticket + 1`. No mutex anywhere on the push path. With
+// `stripes == 1` the buffer is shared per pool (per shard); with more
+// stripes each thread hashes to its own ring, so `stripes` at or above the
+// expected thread count makes even the ticket fetch_add uncontended.
 //
-// Contiguity is load-bearing, not cosmetic. An earlier revision used a
-// fully lock-free multi-producer protocol (claim a ticket by CAS, publish
-// later); a producer preempted between claim and publish then left a *gap*
-// that stalled records published behind it by other threads — records
-// whose pages were already unpinned and could be evicted before their
-// reference was ever applied. Serializing claim+publish per stripe removes
-// the gap state entirely: every record a drain cannot see belongs to a
-// producer that has not yet returned from FetchPage and therefore still
-// holds a pin on its page (the pools' safety invariant), so victim
-// selection after a drain can never choose a page with an unapplied
-// reference.
+// Because claim and publish are no longer serialized, a producer preempted
+// between them leaves a *gap*: records published behind it by other
+// threads are stalled until it publishes. The drain handles gaps by
+// stopping the stripe at the first claimed-but-unpublished cell (after a
+// bounded spin) — FIFO order within the stripe is preserved, the stalled
+// records are simply picked up by a later drain. The price is that a
+// stalled record's page can be unpinned, and even evicted, before its
+// reference is applied; pools therefore always drain with
+// `skip_non_resident` set and surface the skipped records as
+// `access_drops` (bounded staleness the batching contract already
+// permits, not lost bookkeeping — every drop is counted). An earlier
+// revision instead serialized claim+publish under a per-stripe micro-mutex
+// to make gaps impossible; that mutex was the last lock on the warm hit
+// path, which is exactly what this design removes.
+//
+// Tickets can also be *abandoned*: TryPush refuses without touching a cell
+// when the stripe is logically full, and a producer that loses its claim
+// CAS (its ticket was sealed, or the previous lap is still unconsumed
+// after a bounded spin) gives up the same way. The drain reclaims
+// abandoned tickets by sealing them — CAS-ing the untouched cell from
+// `ticket` to `ticket + ring` — so the ring never wedges on a ticket
+// nobody will publish. A refused TryPush returns false and the caller
+// takes the latch, drains, and applies its record directly; that record
+// is never lost, though it may be applied ahead of records still stalled
+// behind a gap (per-thread FIFO is exact for records that flow through
+// the ring, best-effort across the refusal path).
 //
 // Draining runs under the pool latch (single consumer at a time) and
 // applies records to the policy in per-stripe FIFO order via
-// RecordAccessBatch; it never takes the producer mutexes.
-//
-// TryPush returning false means the target stripe is full: the caller must
-// take the latch, Drain(), and apply its own reference directly — that
-// keeps FIFO order and bounds staleness at the buffer capacity.
+// RecordAccessBatch; it synchronizes with producers only through the
+// per-cell sequence numbers.
 
 #ifndef LRUK_CORE_ACCESS_BUFFER_H_
 #define LRUK_CORE_ACCESS_BUFFER_H_
@@ -40,7 +53,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/replacement_policy.h"
@@ -58,15 +70,22 @@ struct AccessBufferStats {
   uint64_t drained_records = 0;
   // Drains that found nothing published (pure overhead).
   uint64_t empty_drains = 0;
-  // TryPush refusals (stripe full) — each one forced the caller onto the
-  // slow path: take the latch, drain, apply directly.
+  // TryPush refusals — stripe logically full, ticket sealed by a drain, or
+  // the previous lap's cell still unconsumed after the bounded spin. Each
+  // one forced the caller onto the slow path: take the latch, drain, apply
+  // directly.
   uint64_t full_pushes = 0;
+  // Records dropped by a skip_non_resident drain instead of applied: their
+  // page was evicted while the record was buffered (typically stalled
+  // behind a publish gap). The pools re-export this as `access_drops`.
+  uint64_t dropped_records = 0;
 
   AccessBufferStats& operator+=(const AccessBufferStats& o) {
     drains += o.drains;
     drained_records += o.drained_records;
     empty_drains += o.empty_drains;
     full_pushes += o.full_pushes;
+    dropped_records += o.dropped_records;
     return *this;
   }
 };
@@ -81,27 +100,32 @@ class AccessBuffer {
   explicit AccessBuffer(size_t capacity, size_t stripes = 1);
   LRUK_DISALLOW_COPY_AND_MOVE(AccessBuffer);
 
-  // Enqueue into the calling thread's stripe under that stripe's
-  // micro-mutex (uncontended when stripes >= threads; never the pool
-  // latch). Returns false when the stripe is full; the caller then drains
-  // under its latch and applies the record itself.
+  // Enqueue into the calling thread's stripe: one fetch_add to claim a
+  // ticket, one CAS to acquire the cell, one release store to publish.
+  // Lock-free (wait-free when uncontended and the drain keeps up). Returns
+  // false when the stripe is full or the cell could not be acquired; the
+  // caller then drains under its latch and applies the record itself.
   bool TryPush(const AccessRecord& record);
 
   // Applies every published record to `policy` in per-stripe FIFO order
   // (via RecordAccessBatch) and returns how many were applied. Caller must
   // hold the latch that serializes policy access: the drain is
-  // single-consumer, while concurrent TryPush calls remain safe.
+  // single-consumer, while concurrent TryPush calls remain safe. A stripe
+  // is consumed up to its first claimed-but-unpublished cell (a producer
+  // preempted mid-publish); anything beyond stays buffered for the next
+  // drain.
   //
   // With `skip_non_resident` set, records whose page is no longer resident
-  // in `policy` are dropped instead of applied. The latch-free hit path
-  // (BufferPoolOptions::optimistic_hits) needs this: a pin + publish +
-  // unpin can complete entirely without the pool latch, so by the time a
-  // drain runs the page may already have been evicted — the record is then
-  // bounded staleness the batching contract already permits, not a
-  // reference the policy can still apply. Latched pools keep the default:
-  // there the pin invariant guarantees residency, and an assert firing
-  // means a real bug.
-  size_t Drain(ReplacementPolicy& policy, bool skip_non_resident = false);
+  // in `policy` are dropped instead of applied, and the number dropped is
+  // added to `*dropped` (when non-null) and to stats(). The pools always
+  // set this: with the lock-free publish path a record can stall behind a
+  // gap past its page's eviction, and with latch-free hits
+  // (BufferPoolOptions::optimistic_hits) a pin + publish + unpin can
+  // complete entirely without the pool latch — either way the drain may
+  // see records for pages already evicted, which the policy must not be
+  // asked to apply.
+  size_t Drain(ReplacementPolicy& policy, bool skip_non_resident = false,
+               size_t* dropped = nullptr);
 
   // Per-stripe record count at which TryPush refuses (the configured
   // capacity; the physical ring may be one power-of-two larger).
@@ -119,22 +143,35 @@ class AccessBuffer {
   }
 
  private:
+  // Cell sequence protocol, for the producer holding `ticket` (ring = the
+  // physical cell count):
+  //   seq == ticket               free for this lap; claim it by CAS.
+  //   seq == ticket | kClaimedBit claimed by us, record write in flight.
+  //   seq == ticket + 1           published; drain may consume.
+  //   seq == ticket + ring        consumed (or sealed) — the *next* lap's
+  //                               free state.
+  // The claim CAS is the only contended transition: it can lose to the
+  // drain sealing an abandoned-looking ticket, in which case the producer
+  // gives up and takes the slow path.
+  static constexpr uint64_t kClaimedBit = uint64_t{1} << 63;
+  // Bounded spins: a producer waiting for the previous lap's cell to be
+  // consumed (drain overdue), and the drain waiting for a claimed cell to
+  // be published (producer mid-write, a few stores away).
+  static constexpr int kClaimSpins = 64;
+  static constexpr int kPublishSpins = 128;
+
   struct Cell {
     std::atomic<uint64_t> seq{0};
     AccessRecord record;
   };
 
-  // Ring with sequence-numbered cells: cell i carries seq == ticket while
-  // empty, the producer publishes seq == ticket + 1, and the consumer
-  // restores seq = ticket + ring size for the next lap. `tail` (next
-  // producer ticket) is guarded by `producer_mutex`; `head` (next consumer
-  // ticket) is written by the drain and read by producers for the
-  // fullness check.
+  // `tail` is the next producer ticket (fetch_add claim); `head` is the
+  // next consumer ticket, written by the drain and read by producers for
+  // the fullness check. Both only ever advance.
   struct Stripe {
     explicit Stripe(size_t capacity);
     std::vector<Cell> cells;
-    std::mutex producer_mutex;
-    uint64_t tail = 0;
+    alignas(64) std::atomic<uint64_t> tail{0};
     alignas(64) std::atomic<uint64_t> head{0};
   };
 

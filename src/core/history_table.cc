@@ -128,6 +128,11 @@ HistoryBlock& HistoryTable::GetOrCreate(PageId p, Timestamp now,
 void HistoryTable::OnEvicted(PageId p, HistoryBlock& block) {
   LRUK_ASSERT(block.resident, "OnEvicted on a non-resident block");
   block.resident = false;
+  RetainEvicted(p, block);
+}
+
+void HistoryTable::RetainEvicted(PageId p, HistoryBlock& block) {
+  LRUK_ASSERT(!block.resident, "RetainEvicted on a resident block");
   nonresident_.insert({block.last, p});
   // Enforce the history budget: drop the longest-idle history-only block
   // (possibly the one just evicted, if everything else is fresher).

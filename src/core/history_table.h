@@ -170,6 +170,14 @@ class HistoryTable {
   // passed in) — callers must not dereference `block` afterwards.
   void OnEvicted(PageId p, HistoryBlock& block);
 
+  // The retention half of OnEvicted for a block already marked
+  // non-resident: registers it in the non-resident index and enforces the
+  // budget. LruKPolicy's batched nomination defers this step until the
+  // nominations settle, so a nominate-then-Restore round trip never
+  // touches the budget. Same caveat as OnEvicted: may free blocks,
+  // including the one passed in.
+  void RetainEvicted(PageId p, HistoryBlock& block);
+
   // Drops the block for p entirely (page deleted from the database).
   void Erase(PageId p);
 

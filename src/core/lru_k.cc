@@ -105,6 +105,10 @@ void LruKPolicy::RecordAccess(PageId p, AccessType /*type*/) {
 }
 
 void LruKPolicy::Admit(PageId p, AccessType /*type*/) {
+  // Settle any deferred nominations first: a sequential Evict would have
+  // retained its victim's history before this admission ticked the clock,
+  // so flushing here keeps the batched path's observable state identical.
+  FlushDeferredEvictions();
   Timestamp t = Tick();
   bool had_history = false;
   HistoryBlock& block = table_.GetOrCreate(p, t, &had_history);
@@ -236,7 +240,7 @@ std::optional<PageId> LruKPolicy::PickVictimLinear(Timestamp t) {
   return std::nullopt;
 }
 
-std::optional<PageId> LruKPolicy::Evict() {
+std::optional<PageId> LruKPolicy::EvictOne(bool defer_retention) {
   if (evictable_count_ == 0) return std::nullopt;
   // The eviction happens while servicing the *next* reference (Figure 2.1
   // runs victim selection at the faulting reference's time t); our caller
@@ -270,11 +274,46 @@ std::optional<PageId> LruKPolicy::Evict() {
     queue_.erase(KeyFor(*victim, *block));
   }
   // History is retained past residence — the whole point of Section 2.1.2
-  // — up to the configured non-resident block budget.
-  table_.OnEvicted(*victim, *block);
+  // — up to the configured non-resident block budget. EvictBatch defers
+  // the retention (and the budget enforcement) so a nominee the caller
+  // hands straight back via Restore never churns the budget.
+  if (defer_retention) {
+    block->resident = false;
+    deferred_evictions_.push_back(*victim);
+  } else {
+    table_.OnEvicted(*victim, *block);
+  }
   --resident_count_;
   --evictable_count_;
   return victim;
+}
+
+std::optional<PageId> LruKPolicy::Evict() {
+  FlushDeferredEvictions();
+  return EvictOne(/*defer_retention=*/false);
+}
+
+size_t LruKPolicy::EvictBatch(size_t k, std::vector<PageId>* out) {
+  FlushDeferredEvictions();
+  out->clear();
+  while (out->size() < k) {
+    std::optional<PageId> victim = EvictOne(/*defer_retention=*/true);
+    if (!victim.has_value()) break;
+    out->push_back(*victim);
+  }
+  return out->size();
+}
+
+void LruKPolicy::FlushDeferredEvictions() {
+  if (deferred_evictions_.empty()) return;
+  for (PageId p : deferred_evictions_) {
+    HistoryBlock* block = table_.Find(p);
+    // Skip nominees whose block is gone (RIP purge) or resident again
+    // (Restored — the nomination was cancelled, nothing to retain).
+    if (block == nullptr || block->resident) continue;
+    table_.RetainEvicted(p, *block);
+  }
+  deferred_evictions_.clear();
 }
 
 void LruKPolicy::Restore(PageId p) {
@@ -308,6 +347,7 @@ void LruKPolicy::Restore(PageId p) {
 }
 
 void LruKPolicy::Remove(PageId p) {
+  FlushDeferredEvictions();
   HistoryBlock* block = table_.Find(p);
   LRUK_ASSERT(block != nullptr && block->resident,
               "Remove on a non-resident page");

@@ -25,6 +25,7 @@
 #include <functional>
 #include <optional>
 #include <string_view>
+#include <vector>
 
 #include "core/types.h"
 #include "util/macros.h"
@@ -77,6 +78,28 @@ class ReplacementPolicy {
   // resident set, and returns it. Returns nullopt when no page is
   // evictable. Does not tick the clock.
   virtual std::optional<PageId> Evict() = 0;
+
+  // Batch victim nomination: pops up to `k` victims in exactly the order
+  // repeated Evict() calls would return them, appends them to `*out`
+  // (cleared first), and returns how many were nominated. Callers that
+  // must skip ineligible nominees (pinned frames on the latch-free hit
+  // path, the flusher's clean-peek) use this to nominate once instead of
+  // paying an Evict/Restore round-trip per skipped candidate; every
+  // nominee the caller does not consume must still be handed back via
+  // Restore, in reverse nomination order (a consumed nominee simply
+  // stays evicted mid-sequence). The default is a literal Evict() loop;
+  // policies that retain history on eviction (LRU-K) override it to defer
+  // that retention until the nominations settle, so a nominate-then-
+  // Restore round trip no longer churns the retained-history budget.
+  virtual size_t EvictBatch(size_t k, std::vector<PageId>* out) {
+    out->clear();
+    while (out->size() < k) {
+      std::optional<PageId> victim = Evict();
+      if (!victim.has_value()) break;
+      out->push_back(*victim);
+    }
+    return out->size();
+  }
 
   // Re-registers a page Evict() returned, because the eviction's side
   // effects failed (the dirty write-back errored) or were provisional (a

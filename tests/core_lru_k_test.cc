@@ -5,6 +5,7 @@
 #include "core/lru_k.h"
 
 #include <optional>
+#include <vector>
 
 #include "gtest/gtest.h"
 
@@ -397,6 +398,105 @@ TEST(LruKLazyHeapTest, RemoveAndReadmitKeepsHeapConsistent) {
   EXPECT_EQ(policy.Evict(), std::optional<PageId>(1));
   EXPECT_EQ(policy.Evict(), std::nullopt);
 }
+
+// ---------------------------------------------------------------------------
+// EvictBatch exactness. One EvictBatch(k) call must nominate exactly the
+// sequence k sequential Evict() calls would return — for every victim
+// index — and restoring unused nominees must leave the policy as if they
+// had never been nominated (deferred retention, no history churn).
+
+// Mixed-distance state: 12 residents, skewed re-references so backward
+// K-distances differ, two pinned pages mid-range, and one infinite-
+// distance straggler re-referenced late.
+void DriveBatchTrace(LruKPolicy& p) {
+  for (PageId q = 1; q <= 12; ++q) p.Admit(q, AccessType::kRead);
+  for (int lap = 0; lap < 3; ++lap) {
+    for (PageId q = 1; q <= 6; ++q) {
+      if ((q + lap) % 2 == 0) p.RecordAccess(q, AccessType::kRead);
+    }
+  }
+  p.RecordAccess(9, AccessType::kRead);
+  p.SetEvictable(4, false);
+  p.SetEvictable(10, false);
+}
+
+LruKOptions IndexedOpts(VictimIndex index) {
+  LruKOptions o;
+  o.k = 2;
+  o.victim_index = index;
+  return o;
+}
+
+class LruKEvictBatchTest : public ::testing::TestWithParam<VictimIndex> {};
+
+TEST_P(LruKEvictBatchTest, MatchesSequentialEvictsExactly) {
+  LruKPolicy sequential(IndexedOpts(GetParam()));
+  LruKPolicy batched(IndexedOpts(GetParam()));
+  DriveBatchTrace(sequential);
+  DriveBatchTrace(batched);
+
+  std::vector<PageId> expected;
+  while (auto v = sequential.Evict()) expected.push_back(*v);
+  ASSERT_EQ(expected.size(), 10u);  // 12 resident, 2 pinned.
+
+  std::vector<PageId> batch;
+  EXPECT_EQ(batched.EvictBatch(4, &batch), 4u);  // A prefix...
+  std::vector<PageId> rest;
+  EXPECT_EQ(batched.EvictBatch(64, &rest), 6u);  // ...then a short tail.
+  batch.insert(batch.end(), rest.begin(), rest.end());
+  EXPECT_EQ(batch, expected);
+}
+
+TEST_P(LruKEvictBatchTest, RestoredNomineesAreAsIfNeverNominated) {
+  LruKPolicy policy(IndexedOpts(GetParam()));
+  DriveBatchTrace(policy);
+  const size_t residents = policy.ResidentCount();
+
+  std::vector<PageId> first;
+  ASSERT_EQ(policy.EvictBatch(5, &first), 5u);
+  for (size_t i = first.size(); i-- > 0;) policy.Restore(first[i]);
+  EXPECT_EQ(policy.ResidentCount(), residents);
+
+  // Nominating again yields the exact same sequence: no clock tick
+  // happened, and every Restore reattached the retained history block
+  // instead of re-admitting fresh.
+  std::vector<PageId> second;
+  ASSERT_EQ(policy.EvictBatch(5, &second), 5u);
+  EXPECT_EQ(second, first);
+}
+
+TEST_P(LruKEvictBatchTest, ConsumedMidSequenceMatchesEvictRestore) {
+  // Batched caller: nominate 3, consume the middle nominee, hand the
+  // other two back in reverse nomination order. Reference caller: two
+  // sequential Evicts to reach the same victim, then Restore the skipped
+  // first nominee. Both policies must agree on every later eviction.
+  LruKPolicy batched(IndexedOpts(GetParam()));
+  LruKPolicy reference(IndexedOpts(GetParam()));
+  DriveBatchTrace(batched);
+  DriveBatchTrace(reference);
+
+  std::vector<PageId> nominees;
+  ASSERT_EQ(batched.EvictBatch(3, &nominees), 3u);
+  batched.Restore(nominees[2]);
+  batched.Restore(nominees[0]);
+
+  ASSERT_EQ(reference.Evict(), std::optional<PageId>(nominees[0]));
+  ASSERT_EQ(reference.Evict(), std::optional<PageId>(nominees[1]));
+  reference.Restore(nominees[0]);
+
+  EXPECT_EQ(batched.ResidentCount(), reference.ResidentCount());
+  while (true) {
+    auto a = batched.Evict();
+    auto b = reference.Evict();
+    EXPECT_EQ(a, b);
+    if (!a.has_value() || !b.has_value()) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVictimIndexes, LruKEvictBatchTest,
+                         ::testing::Values(VictimIndex::kLazyHeap,
+                                           VictimIndex::kOrderedSet,
+                                           VictimIndex::kLinear));
 
 }  // namespace
 }  // namespace lruk
