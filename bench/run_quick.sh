@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
-# Quick bench smoke: runs the five hand-rolled microbenchmarks in --quick
+# Quick bench smoke: runs the six hand-rolled microbenchmarks in --quick
 # mode and leaves machine-readable results at the repo root
 # (BENCH_hotpath.json from micro_sharded_pool, BENCH_contention.json from
 # micro_contention, BENCH_policy_overhead.json from micro_policy_overhead,
 # BENCH_faults.json from fault_sweep, BENCH_async_io.json from
-# micro_async_io).
+# micro_async_io, BENCH_meta_policy.json from ablation_meta_policy).
 # Each JSON is stamped with provenance (git SHA, CMake build type,
 # sanitizer) so a result file can always be traced to the commit and build
 # flavour that produced it. Validates that every file parses as JSON. CI
@@ -45,7 +45,7 @@ if [[ -z "$BUILD_TYPE" ]]; then
 fi
 
 for bin in micro_sharded_pool micro_contention micro_policy_overhead \
-           fault_sweep micro_async_io; do
+           fault_sweep micro_async_io ablation_meta_policy; do
   if [[ ! -x "$BUILD/bench/$bin" ]]; then
     echo "bench binaries not found under $BUILD/bench — build first:" >&2
     echo "  cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
@@ -66,10 +66,12 @@ PROVENANCE=(--git-sha "$GIT_SHA" --build-type "$BUILD_TYPE"
     "${PROVENANCE[@]}"
 "$BUILD/bench/micro_async_io" $QUICK --json BENCH_async_io.json \
     "${PROVENANCE[@]}"
+"$BUILD/bench/ablation_meta_policy" $QUICK --json BENCH_meta_policy.json \
+    "${PROVENANCE[@]}"
 
 for f in BENCH_hotpath.json BENCH_contention.json \
          BENCH_policy_overhead.json BENCH_faults.json \
-         BENCH_async_io.json; do
+         BENCH_async_io.json BENCH_meta_policy.json; do
   python3 -m json.tool "$f" > /dev/null
   echo "$f: valid JSON"
 done

@@ -1,0 +1,91 @@
+#include "analysis/interval_estimator.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace lruk {
+
+namespace {
+
+// Index of the log2 bucket holding `gap` (gap >= 1).
+size_t BucketFor(Timestamp gap) {
+  size_t i = 0;
+  while (gap > 1 && i + 1 < 48) {
+    gap >>= 1;
+    ++i;
+  }
+  return i;
+}
+
+}  // namespace
+
+IntervalEstimator::IntervalEstimator(IntervalEstimatorOptions options)
+    : options_(options) {
+  LRUK_ASSERT(options_.correlated_mass > 0.0 &&
+                  options_.correlated_mass < options_.retained_mass &&
+                  options_.retained_mass < 1.0,
+              "interval estimator quantiles must satisfy 0 < correlated < "
+              "retained < 1");
+  last_ref_.reserve(options_.max_tracked_pages);
+}
+
+void IntervalEstimator::Observe(PageId p, Timestamp now) {
+  auto it = last_ref_.find(p);
+  if (it != last_ref_.end()) {
+    if (now > it->second) {
+      ++buckets_[BucketFor(now - it->second)];
+      ++samples_;
+    }
+    it->second = now;
+    return;
+  }
+  if (last_ref_.size() >= options_.max_tracked_pages) {
+    // Evict an arbitrary tracked page; one lost gap sample is cheaper than
+    // an unbounded map. begin() is deterministic for a fixed insertion
+    // history, which keeps simulations reproducible.
+    last_ref_.erase(last_ref_.begin());
+  }
+  last_ref_.emplace(p, now);
+}
+
+IntervalEstimator::Estimate IntervalEstimator::Current() const {
+  Estimate e;
+  e.samples = samples_;
+  if (samples_ < options_.min_samples) {
+    e.crp = options_.prior_crp;
+    e.rip = options_.prior_rip;
+    return e;
+  }
+  // Posterior-mean bucket probabilities under the uniform Dirichlet prior:
+  // p_i = (n_i + a) / (N + A) with a = A / kBuckets. Walk the CDF once and
+  // read both quantiles off it.
+  const double alpha = options_.prior_strength / static_cast<double>(kBuckets);
+  const double total =
+      static_cast<double>(samples_) + options_.prior_strength;
+  double cdf = 0.0;
+  bool have_crp = false;
+  bool have_rip = false;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    cdf += (static_cast<double>(buckets_[i]) + alpha) / total;
+    if (!have_crp && cdf >= options_.correlated_mass) {
+      e.crp = BucketEdge(i);
+      have_crp = true;
+    }
+    if (!have_rip && cdf >= options_.retained_mass) {
+      e.rip = BucketEdge(i);
+      have_rip = true;
+      break;
+    }
+  }
+  if (!have_rip) e.rip = kInfinitePeriod;
+  return e;
+}
+
+void IntervalEstimator::Reset() {
+  buckets_.fill(0);
+  last_ref_.clear();
+  samples_ = 0;
+}
+
+}  // namespace lruk

@@ -1,0 +1,96 @@
+// Online estimation of the Correlated Reference Period (CRP) and Retained
+// Information Period (RIP) from measured inter-reference gaps.
+//
+// Section 5 of the paper leaves CRP and RIP as workload-tuned constants.
+// This module closes the loop: it maintains a log2-bucketed histogram of
+// per-page backward reference gaps (the time between successive references
+// to the same page, in the policy's logical ticks) and reads the two knobs
+// off the posterior gap distribution:
+//
+//   CRP = the `correlated_mass` quantile — gaps below it are short
+//         re-touches of the kind Section 2.1.1 calls correlated (index
+//         walks, multi-row updates of one page), so treating them as one
+//         reference is exactly the CRP's job;
+//   RIP = the `retained_mass` quantile — a page silent for longer than
+//         almost every observed revisit gap is unlikely to come back, so
+//         its history block is safe to drop (the Section 5 memory
+//         question).
+//
+// Like src/analysis/bayes.h this is a Bayesian point estimate, not a
+// maximum-likelihood one: the histogram is smoothed with a Dirichlet prior
+// of `prior_strength` pseudo-counts spread uniformly over the buckets, so
+// early in the stream (few samples) the quantiles stay near the configured
+// priors instead of whipsawing on noise, and the data takes over smoothly
+// as real gaps accumulate (posterior mean of the bucket probabilities).
+
+#ifndef LRUK_ANALYSIS_INTERVAL_ESTIMATOR_H_
+#define LRUK_ANALYSIS_INTERVAL_ESTIMATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/history_table.h"  // kInfinitePeriod
+#include "core/types.h"
+
+namespace lruk {
+
+struct IntervalEstimatorOptions {
+  // Bound on the last-reference map (key-only, one Timestamp per tracked
+  // page). When full, an arbitrary entry is dropped — losing one gap
+  // sample, never correctness.
+  size_t max_tracked_pages = 8192;
+  // Quantiles read off the smoothed gap distribution (see file comment).
+  double correlated_mass = 0.25;
+  double retained_mass = 0.95;
+  // Total pseudo-count mass of the uniform Dirichlet prior.
+  double prior_strength = 32.0;
+  // Knob values reported until the data outweighs the prior.
+  Timestamp prior_crp = 0;
+  Timestamp prior_rip = kInfinitePeriod;
+  // Below this many gap samples the priors are returned verbatim.
+  uint64_t min_samples = 64;
+};
+
+class IntervalEstimator {
+ public:
+  struct Estimate {
+    Timestamp crp = 0;
+    Timestamp rip = kInfinitePeriod;
+    uint64_t samples = 0;
+  };
+
+  explicit IntervalEstimator(IntervalEstimatorOptions options = {});
+
+  // Records a reference to `p` at logical time `now` (monotone
+  // non-decreasing). The first reference to a page contributes no gap.
+  void Observe(PageId p, Timestamp now);
+
+  // Current posterior-quantile estimates (see file comment).
+  Estimate Current() const;
+
+  uint64_t samples() const { return samples_; }
+
+  void Reset();
+
+ private:
+  // log2 buckets: bucket i holds gaps in [2^i, 2^(i+1)); bucket 0 holds
+  // gap == 1 (a back-to-back re-reference). 48 buckets cover any
+  // realizable logical-tick gap.
+  static constexpr size_t kBuckets = 48;
+
+  // Upper edge (inclusive) of bucket i, the value reported when a
+  // quantile lands in it.
+  static Timestamp BucketEdge(size_t i) {
+    return (Timestamp{1} << (i + 1)) - 1;
+  }
+
+  IntervalEstimatorOptions options_;
+  std::array<uint64_t, kBuckets> buckets_{};
+  std::unordered_map<PageId, Timestamp> last_ref_;
+  uint64_t samples_ = 0;
+};
+
+}  // namespace lruk
+
+#endif  // LRUK_ANALYSIS_INTERVAL_ESTIMATOR_H_

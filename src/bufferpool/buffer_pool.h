@@ -227,6 +227,14 @@ class BufferPool final : public PoolInterface {
     stats_.Reset();
   }
   ReplacementPolicy& policy() { return *policy_; }
+  // Meta-policy counters (adaptive expert regret/switches); a default
+  // snapshot (`adaptive == false`) for plain policies. Drains pending
+  // access records first so the regret window is current.
+  MetaPolicyStats MetaStats() const {
+    auto guard = Lock();
+    DrainAccessBufferLocked();
+    return policy_->GetMetaStats();
+  }
   DiskManager& disk() { return *disk_; }
   const BufferPoolOptions& options() const { return options_; }
   // Drain/push counters for the batching buffer; all-zero when batching is

@@ -103,6 +103,14 @@ class ShardedBufferPool final : public PoolInterface {
   const BufferPool& shard(size_t i) const { return *shards_[i]; }
   // Per-shard counter breakdown, indexed by shard.
   std::vector<BufferPoolStats> ShardStats() const;
+  // Meta-policy counters merged across shards (expert-wise sums; shards
+  // adapt independently, so active_expert is shard 0's choice — use
+  // shard(i).MetaStats() for the per-shard view).
+  MetaPolicyStats MetaStats() const {
+    MetaPolicyStats total;
+    for (const auto& shard : shards_) total += shard->MetaStats();
+    return total;
+  }
   // Batching-buffer counters summed across shards (all-zero when
   // batch_capacity == 0).
   AccessBufferStats access_buffer_stats() const {

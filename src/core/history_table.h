@@ -135,6 +135,10 @@ class HistoryTable {
   int k() const { return k_; }
   size_t size() const { return size_; }
   Timestamp retained_information_period() const { return rip_; }
+  // Re-tunes the RIP online (the adaptive meta-policy's CRP/RIP estimator).
+  // Takes effect from the next expiry check; already-purged blocks are not
+  // resurrected.
+  void SetRetainedInformationPeriod(Timestamp rip) { rip_ = rip; }
 
   // Approximate bytes held by history control blocks — the memory the
   // Retained Information Period controls, the paper's open question in

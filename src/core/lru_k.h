@@ -178,6 +178,16 @@ class LruKPolicy final : public ReplacementPolicy {
   // Evictions that had to ignore the Correlated Reference Period because no
   // eligible page existed.
   uint64_t fallback_evictions() const { return fallback_evictions_; }
+  // Online re-tuning entry points (the adaptive meta-policy's interval
+  // estimator). Both take effect from the next reference; past decisions
+  // (already-recorded history shifts, already-purged blocks) stand.
+  void SetCorrelatedReferencePeriod(Timestamp crp) {
+    options_.correlated_reference_period = crp;
+  }
+  void SetRetainedInformationPeriod(Timestamp rip) {
+    options_.retained_information_period = rip;
+    table_.SetRetainedInformationPeriod(rip);
+  }
   // EvictBatch nominees whose history retention is still deferred (neither
   // flushed into the non-resident index nor cancelled by a Restore).
   size_t PendingDeferredEvictions() const {

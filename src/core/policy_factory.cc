@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "core/a0.h"
+#include "core/adaptive_policy.h"
 #include "core/arc.h"
 #include "core/belady.h"
 #include "core/clock_policy.h"
@@ -81,6 +82,46 @@ Result<std::unique_ptr<ReplacementPolicy>> MakePolicy(
       }
       return std::unique_ptr<ReplacementPolicy>(
           new BeladyPolicy(context.trace));
+    case PolicyKind::kAdaptive: {
+      const AdaptiveConfig& ac = config.adaptive;
+      if (ac.experts.empty()) {
+        return Status::InvalidArgument(
+            "adaptive policy needs at least one expert");
+      }
+      if (context.capacity == 0) {
+        return Status::InvalidArgument(
+            "adaptive policy needs a capacity for its ghost caches "
+            "(set PolicyContext::capacity)");
+      }
+      std::vector<AdaptiveExpert> experts;
+      experts.reserve(ac.experts.size());
+      for (size_t i = 0; i < ac.experts.size(); ++i) {
+        if (ac.experts[i].kind == PolicyKind::kAdaptive) {
+          return Status::InvalidArgument(
+              "adaptive experts cannot nest another adaptive policy");
+        }
+        auto live = MakePolicy(ac.experts[i], context);
+        if (!live.ok()) return live.status();
+        auto ghost = MakePolicy(ac.experts[i], context);
+        if (!ghost.ok()) return ghost.status();
+        std::string name = i < ac.expert_names.size() && !ac.expert_names[i].empty()
+                               ? ac.expert_names[i]
+                               : std::string((*live)->Name());
+        experts.push_back(
+            {std::move(name), std::move(*live), std::move(*ghost)});
+      }
+      AdaptivePolicyOptions options;
+      options.capacity = context.capacity;
+      options.window_refs = ac.window_refs;
+      options.window_buckets = ac.window_buckets;
+      options.switch_margin = ac.switch_margin;
+      options.min_window_misses = ac.min_window_misses;
+      options.cooldown_refs = ac.cooldown_refs;
+      options.tune_lruk = ac.tune_lruk;
+      options.tune_interval = ac.tune_interval;
+      return std::unique_ptr<ReplacementPolicy>(
+          new AdaptivePolicy(std::move(experts), options));
+    }
   }
   return Status::Internal("unhandled policy kind");
 }
@@ -105,24 +146,54 @@ Result<ShardPolicyFactory> MakeShardPolicyFactory(const PolicyConfig& config,
       });
 }
 
-std::optional<PolicyConfig> ParsePolicyName(const std::string& name) {
-  std::string upper(name.size(), '\0');
-  std::transform(name.begin(), name.end(), upper.begin(),
-                 [](unsigned char c) { return std::toupper(c); });
+namespace {
 
-  if (upper == "LRU" || upper == "LRU-1") return PolicyConfig::Lru();
-  if (upper.rfind("LRU-", 0) == 0) {
-    int k = 0;
-    for (size_t i = 4; i < upper.size(); ++i) {
-      if (!std::isdigit(static_cast<unsigned char>(upper[i]))) {
-        return std::nullopt;
-      }
-      k = k * 10 + (upper[i] - '0');
+std::string UpperCopy(const std::string& s) {
+  std::string upper(s.size(), '\0');
+  std::transform(s.begin(), s.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return upper;
+}
+
+// Parses the digits of "LRU-<K>" / "LRUK<K>". `token` is the original
+// (pre-uppercasing) text, quoted verbatim in error messages.
+Result<PolicyConfig> ParseLruKDepth(const std::string& token,
+                                    const std::string& digits) {
+  if (digits.empty()) {
+    return Status::InvalidArgument("policy token '" + token +
+                                   "': missing LRU-K depth");
+  }
+  int k = 0;
+  for (char c : digits) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument("policy token '" + token +
+                                     "': malformed LRU-K depth '" + digits +
+                                     "'");
     }
-    // Inline history storage bounds K (see kMaxHistoryK); the paper never
-    // goes past K = 3 anyway.
-    if (k < 1 || k > kMaxHistoryK) return std::nullopt;
-    return PolicyConfig::LruK(k);
+    if (k <= kMaxHistoryK) k = k * 10 + (c - '0');
+  }
+  // Inline history storage bounds K (see kMaxHistoryK); the paper never
+  // goes past K = 3 anyway.
+  if (k < 1 || k > kMaxHistoryK) {
+    return Status::InvalidArgument(
+        "policy token '" + token + "': LRU-K depth must be between 1 and " +
+        std::to_string(kMaxHistoryK));
+  }
+  return PolicyConfig::LruK(k);
+}
+
+// Parses one simple (non-adaptive) policy token.
+Result<PolicyConfig> ParseSimpleToken(const std::string& token) {
+  std::string upper = UpperCopy(token);
+  if (upper == "LRU" || upper == "LRU-1" || upper == "LRUK1") {
+    return PolicyConfig::Lru();
+  }
+  if (upper.rfind("LRU-", 0) == 0) {
+    return ParseLruKDepth(token, upper.substr(4));
+  }
+  // Compact form used inside adaptive specs ("lruk2"), accepted anywhere.
+  if (upper.rfind("LRUK", 0) == 0 && upper.size() > 4) {
+    return ParseLruKDepth(token, upper.substr(4));
   }
   if (upper == "LFU") return PolicyConfig::Lfu();
   if (upper == "FIFO") return PolicyConfig::Of(PolicyKind::kFifo);
@@ -144,7 +215,85 @@ std::optional<PolicyConfig> ParsePolicyName(const std::string& name) {
   if (upper == "B0" || upper == "BELADY" || upper == "OPT") {
     return PolicyConfig::Belady();
   }
-  return std::nullopt;
+  return Status::InvalidArgument("unknown policy name '" + token + "'");
+}
+
+}  // namespace
+
+Result<PolicyConfig> ParsePolicySpec(const std::string& spec) {
+  const std::string upper = UpperCopy(spec);
+  constexpr std::string_view kAdaptivePrefix = "ADAPTIVE:";
+  constexpr std::string_view kTunedPrefix = "ADAPTIVE-TUNED:";
+  size_t prefix = 0;
+  bool tuned = false;
+  if (upper.rfind(kAdaptivePrefix, 0) == 0) {
+    prefix = kAdaptivePrefix.size();
+  } else if (upper.rfind(kTunedPrefix, 0) == 0) {
+    prefix = kTunedPrefix.size();
+    tuned = true;
+  } else if (upper.rfind("ADAPTIVE", 0) == 0) {
+    return Status::InvalidArgument(
+        "adaptive spec '" + spec +
+        "' must list experts as 'adaptive:<e1>+<e2>+...' "
+        "(or 'adaptive-tuned:' for online CRP/RIP tuning)");
+  } else {
+    return ParseSimpleToken(spec);
+  }
+
+  PolicyConfig config = PolicyConfig::Of(PolicyKind::kAdaptive);
+  config.adaptive.tune_lruk = tuned;
+  const std::string list = spec.substr(prefix);
+  if (list.empty()) {
+    return Status::InvalidArgument("adaptive spec '" + spec +
+                                   "' lists no experts");
+  }
+  std::vector<std::string> seen;
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t plus = list.find('+', start);
+    std::string token = list.substr(
+        start, plus == std::string::npos ? std::string::npos : plus - start);
+    start = plus == std::string::npos ? list.size() + 1 : plus + 1;
+    if (token.empty()) {
+      return Status::InvalidArgument("adaptive spec '" + spec +
+                                     "' has an empty expert token");
+    }
+    if (UpperCopy(token).rfind("ADAPTIVE", 0) == 0) {
+      return Status::InvalidArgument("adaptive spec '" + spec +
+                                     "': expert '" + token +
+                                     "' nests another adaptive policy");
+    }
+    auto expert = ParseSimpleToken(token);
+    if (!expert.ok()) {
+      return Status::InvalidArgument("adaptive spec '" + spec + "': " +
+                                     std::string(expert.status().message()));
+    }
+    if (expert->kind == PolicyKind::kA0 ||
+        expert->kind == PolicyKind::kBelady) {
+      return Status::InvalidArgument(
+          "adaptive spec '" + spec + "': expert '" + token +
+          "' needs oracle context (A0/Belady cannot be ghost-simulated)");
+    }
+    // Canonical duplicate check: "2q" and "twoq" are the same expert.
+    std::string canonical =
+        std::to_string(static_cast<int>(expert->kind)) + "/" +
+        std::to_string(expert->lru_k.k) + "/" +
+        std::to_string(expert->lrd.aging_interval);
+    if (std::find(seen.begin(), seen.end(), canonical) != seen.end()) {
+      return Status::InvalidArgument("adaptive spec '" + spec +
+                                     "': duplicate expert '" + token + "'");
+    }
+    seen.push_back(canonical);
+    config.adaptive.experts.push_back(std::move(*expert));
+    config.adaptive.expert_names.push_back(token);
+  }
+  return config;
+}
+
+std::optional<PolicyConfig> ParsePolicyName(const std::string& name) {
+  auto parsed = ParsePolicySpec(name);
+  if (!parsed.ok()) return std::nullopt;
+  return std::move(*parsed);
 }
 
 }  // namespace lruk

@@ -40,6 +40,28 @@ enum class PolicyKind {
   kDomainSeparation,
   kA0,
   kBelady,
+  kAdaptive,
+};
+
+struct PolicyConfig;
+
+// kAdaptive: the expert list plus the meta-policy's switching and tuning
+// knobs (mirrors AdaptivePolicyOptions; the ghost capacity always comes
+// from PolicyContext::capacity). std::vector of the enclosing,
+// still-incomplete PolicyConfig is legal since C++17 — experts cannot
+// themselves be adaptive (MakePolicy rejects nesting).
+struct AdaptiveConfig {
+  std::vector<PolicyConfig> experts;
+  // Display names, parallel to `experts` (stats, Name()). Missing entries
+  // fall back to the built expert's own Name().
+  std::vector<std::string> expert_names;
+  uint64_t window_refs = 4096;
+  size_t window_buckets = 8;
+  double switch_margin = 0.10;
+  uint64_t min_window_misses = 16;
+  uint64_t cooldown_refs = 1024;
+  bool tune_lruk = false;
+  uint64_t tune_interval = 8192;
 };
 
 // Everything needed to build any policy in the catalog.
@@ -56,6 +78,8 @@ struct PolicyConfig {
   // kDomainSeparation: classifier + per-domain frame counts.
   DomainSeparationOptions domain_separation;
   uint64_t random_seed = 0xC0FFEE;  // kRandom
+  // kAdaptive: expert list + meta knobs.
+  AdaptiveConfig adaptive;
 
   // Convenience constructors for the common cases.
   static PolicyConfig Of(PolicyKind kind) {
@@ -77,6 +101,13 @@ struct PolicyConfig {
   static PolicyConfig Belady() { return Of(PolicyKind::kBelady); }
   static PolicyConfig TwoQ() { return Of(PolicyKind::kTwoQ); }
   static PolicyConfig Arc() { return Of(PolicyKind::kArc); }
+  static PolicyConfig Adaptive(std::vector<PolicyConfig> experts,
+                               std::vector<std::string> expert_names = {}) {
+    PolicyConfig c = Of(PolicyKind::kAdaptive);
+    c.adaptive.experts = std::move(experts);
+    c.adaptive.expert_names = std::move(expert_names);
+    return c;
+  }
 };
 
 // Per-experiment context the factory may consult.
@@ -110,11 +141,20 @@ using ShardPolicyFactory = std::function<std::unique_ptr<ReplacementPolicy>(
 Result<ShardPolicyFactory> MakeShardPolicyFactory(const PolicyConfig& config,
                                                   PolicyContext context = {});
 
-// Parses names like "LRU", "LRU-2", "LRU-3", "LFU", "FIFO", "CLOCK",
-// "GCLOCK", "LRD", "MRU", "RANDOM", "2Q", "ARC", "A0", "B0"/"BELADY"
-// (case insensitive). LRU-K accepts 1 <= K <= kMaxHistoryK. Returns
-// nullopt for unknown names (including DOMAIN-SEP, which needs a
-// programmatic classifier).
+// Parses a policy spec string. Simple names: "LRU", "LRU-2", "LRU-3",
+// "LFU", "FIFO", "CLOCK", "GCLOCK", "LRD", "MRU", "RANDOM", "2Q", "ARC",
+// "A0", "B0"/"BELADY" (case insensitive; LRU-K also accepts the compact
+// "LRUK2" form, with 1 <= K <= kMaxHistoryK). Adaptive meta-policy specs:
+// "adaptive:lruk2+arc+2q" — experts joined by '+', each any simple name
+// except A0/Belady (they need oracle context) — and "adaptive-tuned:..."
+// for the same with online CRP/RIP re-estimation enabled. On failure the
+// Status names the offending token (unknown expert, out-of-range K,
+// nested adaptive, empty expert list). DOMAIN-SEP is not parseable — it
+// needs a programmatic classifier.
+Result<PolicyConfig> ParsePolicySpec(const std::string& spec);
+
+// Thin wrapper over ParsePolicySpec for callers that only care about
+// success: nullopt on any parse error.
 std::optional<PolicyConfig> ParsePolicyName(const std::string& name);
 
 }  // namespace lruk

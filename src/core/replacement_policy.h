@@ -27,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/meta_stats.h"
 #include "core/types.h"
 #include "util/macros.h"
 
@@ -139,6 +140,11 @@ class ReplacementPolicy {
 
   // Stable human-readable policy name ("LRU-2", "LFU", ...).
   virtual std::string_view Name() const = 0;
+
+  // Meta-policy counters (per-expert regret, switch counts). Plain policies
+  // report a default snapshot with `adaptive == false`; the adaptive
+  // meta-policy overrides this. Pools surface it next to their own stats.
+  virtual MetaPolicyStats GetMetaStats() const { return {}; }
 };
 
 }  // namespace lruk

@@ -44,6 +44,7 @@
 #include "bufferpool/buffer_pool.h"
 #include "bufferpool/sharded_buffer_pool.h"
 #include "core/lru_k.h"
+#include "differential_harness.h"
 #include "gtest/gtest.h"
 #include "io/io_dispatcher.h"
 #include "io/readahead.h"
@@ -56,93 +57,18 @@ namespace lruk {
 namespace {
 
 // ---------------------------------------------------------------------------
-// Helpers.
+// Helpers. The shared 20k-op differential scaffolding (stats comparators,
+// AllocateDb, the victim-recording wrapper, DriveMixedWorkload and the
+// scenario driver) lives in differential_harness.h.
 
-void ExpectPoolStatsEq(const BufferPoolStats& a, const BufferPoolStats& b) {
-  EXPECT_EQ(a.hits, b.hits);
-  EXPECT_EQ(a.misses, b.misses);
-  EXPECT_EQ(a.evictions, b.evictions);
-  EXPECT_EQ(a.dirty_writebacks, b.dirty_writebacks);
-  EXPECT_EQ(a.read_failures, b.read_failures);
-  EXPECT_EQ(a.write_failures, b.write_failures);
-  EXPECT_EQ(a.retries, b.retries);
-  EXPECT_EQ(a.coalesced_reads, b.coalesced_reads);
-  EXPECT_EQ(a.prefetch_issued, b.prefetch_issued);
-  EXPECT_EQ(a.prefetch_used, b.prefetch_used);
-  EXPECT_EQ(a.prefetch_dropped, b.prefetch_dropped);
-  EXPECT_EQ(a.background_cleans, b.background_cleans);
-}
-
-void ExpectIoStatsEq(const IoStats& a, const IoStats& b) {
-  EXPECT_EQ(a.reads, b.reads);
-  EXPECT_EQ(a.writes, b.writes);
-  EXPECT_EQ(a.allocations, b.allocations);
-  EXPECT_EQ(a.deallocations, b.deallocations);
-  EXPECT_EQ(a.read_failures, b.read_failures);
-  EXPECT_EQ(a.write_failures, b.write_failures);
-  EXPECT_EQ(a.retries, b.retries);
-  EXPECT_DOUBLE_EQ(a.simulated_micros, b.simulated_micros);
-}
-
-std::vector<PageId> AllocateDb(PoolInterface& pool, uint64_t n) {
-  std::vector<PageId> pages;
-  for (uint64_t i = 0; i < n; ++i) {
-    auto page = pool.NewPage();
-    EXPECT_TRUE(page.ok());
-    pages.push_back((*page)->id());
-    EXPECT_TRUE(pool.UnpinPage((*page)->id(), true).ok());
-  }
-  return pages;
-}
-
-// Forwarding LRU-K wrapper recording the surviving eviction sequence (a
-// Restore pops its eviction — the differential and the flusher tests both
-// rely on Evict/Restore cancelling out exactly).
-class RecordingLruK final : public ReplacementPolicy {
- public:
-  explicit RecordingLruK(LruKOptions options) : inner_(options) {}
-
-  void SetReferencingProcess(uint32_t process) override {
-    inner_.SetReferencingProcess(process);
-  }
-  void PrepareAdmit(PageId p) override { inner_.PrepareAdmit(p); }
-  void RecordAccess(PageId p, AccessType type) override {
-    inner_.RecordAccess(p, type);
-  }
-  void RecordAccessBatch(const AccessRecord* records, size_t n) override {
-    inner_.RecordAccessBatch(records, n);
-  }
-  void Admit(PageId p, AccessType type) override { inner_.Admit(p, type); }
-  std::optional<PageId> Evict() override {
-    auto victim = inner_.Evict();
-    if (victim.has_value()) evictions_.push_back(*victim);
-    return victim;
-  }
-  void Restore(PageId p) override {
-    ASSERT_FALSE(evictions_.empty());
-    ASSERT_EQ(evictions_.back(), p);  // LIFO: most recent Evict first.
-    evictions_.pop_back();
-    inner_.Restore(p);
-  }
-  void Remove(PageId p) override { inner_.Remove(p); }
-  void SetEvictable(PageId p, bool evictable) override {
-    inner_.SetEvictable(p, evictable);
-  }
-  size_t ResidentCount() const override { return inner_.ResidentCount(); }
-  size_t EvictableCount() const override { return inner_.EvictableCount(); }
-  bool IsResident(PageId p) const override { return inner_.IsResident(p); }
-  void ForEachResident(
-      const std::function<void(PageId)>& visit) const override {
-    inner_.ForEachResident(visit);
-  }
-  std::string_view Name() const override { return inner_.Name(); }
-
-  const std::vector<PageId>& evictions() const { return evictions_; }
-
- private:
-  LruKPolicy inner_;
-  std::vector<PageId> evictions_;
-};
+using difftest::AllocateDb;
+using difftest::DiffScenarioConfig;
+using difftest::DiffScenarioResult;
+using difftest::ExpectScenarioEq;
+using difftest::RecordingPolicy;
+using difftest::RunDiffScenario;
+using difftest::kDiffCapacity;
+using difftest::kDiffDbPages;
 
 // Forwarding disk manager that blocks reads of one chosen page until
 // released — pins a worker-mode prefetch mid-flight so fences can be
@@ -358,109 +284,12 @@ TEST(AsyncIoReadaheadTest, ResetForgetsTheRun) {
 // Differential battery: dispatcher (inline, and worker-mode driven
 // single-threaded) vs the direct path — byte-identical.
 
-struct ScenarioResult {
-  BufferPoolStats stats;
-  IoStats io;
-  // Surviving eviction sequence per policy instance (one for the plain
-  // pool, one per shard for the sharded pool).
-  std::vector<std::vector<PageId>> evictions;
-  std::vector<bool> residency;
-  std::vector<std::string> images;
-};
-
-constexpr uint64_t kDiffDbPages = 96;
-constexpr size_t kDiffCapacity = 24;
-constexpr int kDiffOps = 20000;
-
-// A mixed deterministic workload: skewed fetches, 25% writes, periodic
-// FlushPage, periodic DeletePage + NewPage (id churn through the
-// allocator's free list). Exercises every pool entry point the dispatcher
-// touches.
-void DriveMixedWorkload(PoolInterface& pool, std::vector<PageId>& pages) {
-  RecursiveSkewDistribution dist(0.8, 0.2, pages.size());
-  RandomEngine rng(/*seed=*/20260809);
-  for (int i = 0; i < kDiffOps; ++i) {
-    size_t idx = dist.Sample(rng) - 1;
-    PageId p = pages[idx];
-    bool write = rng.NextBernoulli(0.25);
-    auto page =
-        pool.FetchPage(p, write ? AccessType::kWrite : AccessType::kRead);
-    ASSERT_TRUE(page.ok()) << "op " << i;
-    if (write) {
-      std::memcpy((*page)->Data(), &i, sizeof(i));
-    }
-    ASSERT_TRUE(pool.UnpinPage(p, write).ok()) << "op " << i;
-    if (i % 1009 == 0) ASSERT_TRUE(pool.FlushPage(p).ok());
-    if (i % 501 == 250) {
-      ASSERT_TRUE(pool.DeletePage(p).ok()) << "op " << i;
-      auto fresh = pool.NewPage();
-      ASSERT_TRUE(fresh.ok());
-      pages[idx] = (*fresh)->id();
-      ASSERT_TRUE(pool.UnpinPage((*fresh)->id(), true).ok());
-    }
-  }
-  ASSERT_TRUE(pool.FlushAll().ok());
-}
-
-ScenarioResult RunScenario(bool sharded, size_t batch_capacity,
-                           bool dispatcher, size_t workers) {
-  SimDiskManager disk;
-  BufferPoolOptions options;
-  options.batch_capacity = batch_capacity;
-  options.io_dispatcher = dispatcher;
-  options.io_workers = workers;
-
-  ScenarioResult result;
-  std::vector<PageId> pages;
-  if (!sharded) {
-    auto policy = std::make_unique<RecordingLruK>(LruKOptions{.k = 2});
-    RecordingLruK* recorder = policy.get();
-    BufferPool pool(kDiffCapacity, &disk, std::move(policy), options);
-    pages = AllocateDb(pool, kDiffDbPages);
-    DriveMixedWorkload(pool, pages);
-    result.stats = pool.stats();
-    result.evictions.push_back(recorder->evictions());
-    for (PageId p : pages) result.residency.push_back(pool.IsResident(p));
-  } else {
-    std::vector<RecordingLruK*> recorders(4, nullptr);
-    ShardedBufferPool pool(
-        kDiffCapacity, /*num_shards=*/4, &disk,
-        [&](size_t shard, size_t) {
-          auto policy = std::make_unique<RecordingLruK>(LruKOptions{.k = 2});
-          recorders[shard] = policy.get();
-          return policy;
-        },
-        options);
-    pages = AllocateDb(pool, kDiffDbPages);
-    DriveMixedWorkload(pool, pages);
-    result.stats = pool.stats();
-    for (RecordingLruK* r : recorders) result.evictions.push_back(r->evictions());
-    for (PageId p : pages) result.residency.push_back(pool.IsResident(p));
-  }
-  result.io = disk.stats();
-  char buf[kPageSize];
-  for (PageId p : pages) {
-    EXPECT_TRUE(disk.ReadPage(p, buf).ok());
-    result.images.emplace_back(buf, kPageSize);
-  }
-  return result;
-}
-
-void ExpectScenarioEq(const ScenarioResult& a, const ScenarioResult& b) {
-  ExpectPoolStatsEq(a.stats, b.stats);
-  EXPECT_EQ(a.evictions, b.evictions);
-  EXPECT_EQ(a.residency, b.residency);
-  EXPECT_EQ(a.images, b.images);
-  // IoStats modulo the verification reads RunScenario itself issued (same
-  // count on both sides, so full equality still holds field-for-field).
-  ExpectIoStatsEq(a.io, b.io);
-}
-
 TEST(AsyncIoDifferentialTest, InlineDispatcherIsByteIdenticalPlainPool) {
   for (size_t batch : {size_t{0}, size_t{64}}) {
     SCOPED_TRACE("batch=" + std::to_string(batch));
-    ScenarioResult direct = RunScenario(false, batch, false, 0);
-    ScenarioResult inline_mode = RunScenario(false, batch, true, 0);
+    DiffScenarioResult direct = RunDiffScenario({.batch_capacity = batch});
+    DiffScenarioResult inline_mode =
+        RunDiffScenario({.batch_capacity = batch, .dispatcher = true});
     ExpectScenarioEq(direct, inline_mode);
     EXPECT_EQ(inline_mode.stats.coalesced_reads, 0u);  // Single-threaded.
   }
@@ -469,8 +298,10 @@ TEST(AsyncIoDifferentialTest, InlineDispatcherIsByteIdenticalPlainPool) {
 TEST(AsyncIoDifferentialTest, InlineDispatcherIsByteIdenticalShardedPool) {
   for (size_t batch : {size_t{0}, size_t{64}}) {
     SCOPED_TRACE("batch=" + std::to_string(batch));
-    ScenarioResult direct = RunScenario(true, batch, false, 0);
-    ScenarioResult inline_mode = RunScenario(true, batch, true, 0);
+    DiffScenarioResult direct =
+        RunDiffScenario({.sharded = true, .batch_capacity = batch});
+    DiffScenarioResult inline_mode = RunDiffScenario(
+        {.sharded = true, .batch_capacity = batch, .dispatcher = true});
     ExpectScenarioEq(direct, inline_mode);
   }
 }
@@ -479,11 +310,13 @@ TEST(AsyncIoDifferentialTest, SingleThreadedWorkerModeMatchesDirectPath) {
   // A foreground Run() blocks until its read completes, so a
   // single-threaded driver is sequential even with workers — the whole
   // differential holds, not just the counters.
-  ScenarioResult direct = RunScenario(false, 0, false, 0);
-  ScenarioResult workers = RunScenario(false, 0, true, 2);
+  DiffScenarioResult direct = RunDiffScenario({});
+  DiffScenarioResult workers =
+      RunDiffScenario({.dispatcher = true, .io_workers = 2});
   ExpectScenarioEq(direct, workers);
-  ScenarioResult sharded_direct = RunScenario(true, 0, false, 0);
-  ScenarioResult sharded_workers = RunScenario(true, 0, true, 2);
+  DiffScenarioResult sharded_direct = RunDiffScenario({.sharded = true});
+  DiffScenarioResult sharded_workers = RunDiffScenario(
+      {.sharded = true, .dispatcher = true, .io_workers = 2});
   ExpectScenarioEq(sharded_direct, sharded_workers);
 }
 
@@ -719,8 +552,9 @@ TEST(AsyncIoFlusherTest, NextVictimsAreCleanAfterAPass) {
   BufferPoolOptions options;
   options.io_dispatcher = true;
   options.flusher_batch = 4;
-  auto policy = std::make_unique<RecordingLruK>(LruKOptions{.k = 2});
-  RecordingLruK* recorder = policy.get();
+  auto policy = std::make_unique<RecordingPolicy>(
+      std::make_unique<LruKPolicy>(LruKOptions{.k = 2}));
+  RecordingPolicy* recorder = policy.get();
   BufferPool pool(8, &disk, std::move(policy), options);
 
   // Fill the pool with dirty pages.
@@ -754,8 +588,9 @@ TEST(AsyncIoFlusherTest, PeekDoesNotPerturbTheVictimOrder) {
     BufferPoolOptions options;
     options.io_dispatcher = true;
     options.flusher_batch = 6;
-    auto policy = std::make_unique<RecordingLruK>(LruKOptions{.k = 2});
-    RecordingLruK* recorder = policy.get();
+    auto policy = std::make_unique<RecordingPolicy>(
+        std::make_unique<LruKPolicy>(LruKOptions{.k = 2}));
+    RecordingPolicy* recorder = policy.get();
     BufferPool pool(12, &disk, std::move(policy), options);
     std::vector<PageId> pages = AllocateDb(pool, 48);
     RecursiveSkewDistribution dist(0.8, 0.2, pages.size());
@@ -789,8 +624,9 @@ TEST(AsyncIoFlusherTest, FailedWriteBackLeavesPageDirtyAndRestored) {
   BufferPoolOptions options;
   options.io_dispatcher = true;
   options.flusher_batch = 3;
-  auto policy = std::make_unique<RecordingLruK>(LruKOptions{.k = 2});
-  RecordingLruK* recorder = policy.get();
+  auto policy = std::make_unique<RecordingPolicy>(
+      std::make_unique<LruKPolicy>(LruKOptions{.k = 2}));
+  RecordingPolicy* recorder = policy.get();
   BufferPool pool(4, &disk, std::move(policy), options);
 
   std::vector<PageId> pages = AllocateDb(pool, 4);

@@ -31,6 +31,7 @@
 #include "core/access_buffer.h"
 #include "core/lru_k.h"
 #include "core/policy_factory.h"
+#include "differential_harness.h"
 #include "gtest/gtest.h"
 #include "storage/sim_disk_manager.h"
 #include "util/random.h"
@@ -249,141 +250,39 @@ TEST(BatchedAccessBufferTest, WraparoundHammerKeepsExactTotalsAndFifo) {
 }
 
 // ---------------------------------------------------------------------------
-// Differential tests: batched vs unbatched on a deterministic trace.
+// Differential tests: batched vs unbatched over the shared deterministic
+// 20k-op mixed workload (differential_harness.h).
 
-constexpr uint64_t kDbPages = 192;
-constexpr size_t kCapacity = 48;
-constexpr int kTraceLen = 30000;
-
-// LRU-2 that additionally appends every eviction victim to an external
-// vector, so whole eviction *sequences* can be compared across pools.
-class RecordingLruK final : public ReplacementPolicy {
- public:
-  RecordingLruK(LruKOptions options, std::vector<PageId>* evictions)
-      : inner_(options), evictions_(evictions) {}
-
-  void SetReferencingProcess(uint32_t process) override {
-    inner_.SetReferencingProcess(process);
-  }
-  void PrepareAdmit(PageId p) override { inner_.PrepareAdmit(p); }
-  void RecordAccess(PageId p, AccessType type) override {
-    inner_.RecordAccess(p, type);
-  }
-  void Admit(PageId p, AccessType type) override { inner_.Admit(p, type); }
-  std::optional<PageId> Evict() override {
-    auto victim = inner_.Evict();
-    if (victim.has_value()) evictions_->push_back(*victim);
-    return victim;
-  }
-  void Remove(PageId p) override { inner_.Remove(p); }
-  void SetEvictable(PageId p, bool evictable) override {
-    inner_.SetEvictable(p, evictable);
-  }
-  size_t ResidentCount() const override { return inner_.ResidentCount(); }
-  size_t EvictableCount() const override { return inner_.EvictableCount(); }
-  bool IsResident(PageId p) const override { return inner_.IsResident(p); }
-  void ForEachResident(
-      const std::function<void(PageId)>& visit) const override {
-    inner_.ForEachResident(visit);
-  }
-  std::string_view Name() const override { return inner_.Name(); }
-
-  const LruKPolicy& inner() const { return inner_; }
-
- private:
-  LruKPolicy inner_;
-  std::vector<PageId>* evictions_;
-};
-
-struct DiffPool {
-  explicit DiffPool(BufferPoolOptions options) {
-    auto policy = std::make_unique<RecordingLruK>(
-        LruKOptions{.k = 2, .capacity_hint = kCapacity}, &evictions);
-    recording = policy.get();
-    pool = std::make_unique<BufferPool>(kCapacity, &disk, std::move(policy),
-                                        options);
-  }
-
-  SimDiskManager disk;
-  std::vector<PageId> evictions;
-  RecordingLruK* recording = nullptr;
-  std::unique_ptr<BufferPool> pool;
-};
-
-void DriveDeterministicTrace(BufferPool& pool,
-                             const std::vector<PageId>& pages) {
-  RecursiveSkewDistribution dist(0.8, 0.2, pages.size());
-  RandomEngine rng(0x5EED);
-  for (int i = 0; i < kTraceLen; ++i) {
-    PageId p = pages[dist.Sample(rng) - 1];
-    bool write = rng.NextBernoulli(0.2);
-    auto page =
-        pool.FetchPage(p, write ? AccessType::kWrite : AccessType::kRead);
-    ASSERT_TRUE(page.ok()) << i;
-    ASSERT_TRUE(pool.UnpinPage(p, false).ok()) << i;
-    if (i % 997 == 0) {
-      ASSERT_TRUE(pool.FlushPage(p).ok()) << i;
-    }
-    if (i % 2500 == 0) (void)pool.stats();  // Observation points drain.
-  }
-  ASSERT_TRUE(pool.FlushAll().ok());
-}
-
-std::vector<PageId> AllocateDb(PoolInterface& pool, uint64_t n) {
-  std::vector<PageId> pages;
-  for (uint64_t i = 0; i < n; ++i) {
-    auto page = pool.NewPage();
-    EXPECT_TRUE(page.ok());
-    pages.push_back((*page)->id());
-    EXPECT_TRUE(pool.UnpinPage((*page)->id(), true).ok());
-  }
-  return pages;
-}
+using difftest::AllocateDb;
+using difftest::DiffScenarioResult;
+using difftest::ExpectScenarioEq;
+using difftest::RunDiffScenario;
+using difftest::kDiffDbPages;
 
 class BatchedDifferentialTest : public ::testing::TestWithParam<size_t> {};
 
 TEST_P(BatchedDifferentialTest, BatchedPoolIsByteIdenticalToUnbatched) {
   const size_t batch_capacity = GetParam();
 
-  DiffPool baseline(BufferPoolOptions{});  // batch_capacity = 0.
-  DiffPool batched(BufferPoolOptions{.batch_capacity = batch_capacity,
-                                     .batch_stripes = 1});
-  ASSERT_NE(batched.pool->options().batch_capacity, 0u);
+  DiffScenarioResult baseline = RunDiffScenario({});  // batch_capacity = 0.
+  DiffScenarioResult batched =
+      RunDiffScenario({.batch_capacity = batch_capacity});
 
-  std::vector<PageId> pages_a = AllocateDb(*baseline.pool, kDbPages);
-  std::vector<PageId> pages_b = AllocateDb(*batched.pool, kDbPages);
-  ASSERT_EQ(pages_a, pages_b);
-
-  DriveDeterministicTrace(*baseline.pool, pages_a);
-  DriveDeterministicTrace(*batched.pool, pages_b);
-
-  // Counters, byte for byte.
-  BufferPoolStats a = baseline.pool->stats();
-  BufferPoolStats b = batched.pool->stats();
-  EXPECT_EQ(a.hits, b.hits);
-  EXPECT_EQ(a.misses, b.misses);
-  EXPECT_EQ(a.evictions, b.evictions);
-  EXPECT_EQ(a.dirty_writebacks, b.dirty_writebacks);
-  EXPECT_GT(a.hits, 0u);
-  EXPECT_GT(a.evictions, 0u);
+  // Counters, eviction *sequence*, resident set, disk images and policy
+  // clock: byte for byte. Drains preserve reference order, so batching
+  // must not change replacement behaviour when there is no concurrency.
+  ExpectScenarioEq(baseline, batched);
+  EXPECT_GT(batched.stats.hits, 0u);
+  EXPECT_GT(batched.stats.evictions, 0u);
   // Single-threaded there are no publish gaps: every eviction point
   // drains first, so no buffered record can outlive its page.
-  EXPECT_EQ(b.access_drops, 0u);
-
-  // Identical eviction *sequence*, not just counts.
-  EXPECT_EQ(baseline.evictions, batched.evictions);
-
-  // Identical policy clock (every reference was applied, in both pools)
-  // and resident set.
-  EXPECT_EQ(baseline.recording->inner().CurrentTime(),
-            batched.recording->inner().CurrentTime());
-  EXPECT_EQ(baseline.recording->inner().CurrentTime(),
-            a.hits + a.misses + kDbPages);  // Fetch ticks + NewPage admits.
-  EXPECT_EQ(baseline.pool->ResidentCount(), batched.pool->ResidentCount());
-  for (PageId p : pages_a) {
-    EXPECT_EQ(baseline.pool->IsResident(p), batched.pool->IsResident(p))
-        << "page " << p;
-  }
+  EXPECT_EQ(batched.stats.access_drops, 0u);
+  // Closed-form clock: every reference was applied exactly once — one
+  // tick per fetch, per initial NewPage admission, and per delete/new
+  // cycle's replacement admission.
+  EXPECT_EQ(baseline.clocks[0],
+            baseline.stats.hits + baseline.stats.misses + kDiffDbPages +
+                static_cast<uint64_t>(baseline.delete_cycles));
 }
 
 INSTANTIATE_TEST_SUITE_P(CapacityOneAndSixtyFour, BatchedDifferentialTest,

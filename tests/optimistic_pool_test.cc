@@ -27,8 +27,6 @@
 //    are never victims (pin counts as ground truth), ResourceExhausted
 //    when every frame is pinned, and id reuse after delete works.
 
-#include <algorithm>
-#include <cstring>
 #include <iterator>
 #include <memory>
 #include <string>
@@ -39,6 +37,7 @@
 #include "bufferpool/page_table.h"
 #include "bufferpool/sharded_buffer_pool.h"
 #include "core/lru_k.h"
+#include "differential_harness.h"
 #include "gtest/gtest.h"
 #include "storage/sim_disk_manager.h"
 #include "util/random.h"
@@ -46,6 +45,13 @@
 
 namespace lruk {
 namespace {
+
+using difftest::AllocateDb;
+using difftest::DiffScenarioConfig;
+using difftest::DiffScenarioResult;
+using difftest::ExpectPoolStatsEq;
+using difftest::ExpectScenarioEq;
+using difftest::RunDiffScenario;
 
 // ---------------------------------------------------------------------------
 // PageTable units.
@@ -164,217 +170,19 @@ TEST(OptimisticPageTableTest, UnlockErasedRemovesTheMapping) {
 
 // ---------------------------------------------------------------------------
 // Differential battery: optimistic_hits vs the latched path —
-// byte-identical single-threaded. Workload and harness mirror
-// async_io_test.cc's (duplicated to keep the test binaries standalone).
+// byte-identical single-threaded. Workload and scaffolding live in
+// differential_harness.h (shared with async_io_test.cc and
+// batched_access_test.cc); this suite runs it with batch_capacity 64 —
+// the auto-bump default optimistic mode implies.
 
-void ExpectLegacyStatsEq(const BufferPoolStats& a, const BufferPoolStats& b) {
-  EXPECT_EQ(a.hits, b.hits);
-  EXPECT_EQ(a.misses, b.misses);
-  EXPECT_EQ(a.evictions, b.evictions);
-  EXPECT_EQ(a.dirty_writebacks, b.dirty_writebacks);
-  EXPECT_EQ(a.read_failures, b.read_failures);
-  EXPECT_EQ(a.write_failures, b.write_failures);
-  EXPECT_EQ(a.retries, b.retries);
-  EXPECT_EQ(a.coalesced_reads, b.coalesced_reads);
-  EXPECT_EQ(a.prefetch_issued, b.prefetch_issued);
-  EXPECT_EQ(a.prefetch_used, b.prefetch_used);
-  EXPECT_EQ(a.prefetch_dropped, b.prefetch_dropped);
-  EXPECT_EQ(a.background_cleans, b.background_cleans);
-}
-
-void ExpectIoStatsEq(const IoStats& a, const IoStats& b) {
-  EXPECT_EQ(a.reads, b.reads);
-  EXPECT_EQ(a.writes, b.writes);
-  EXPECT_EQ(a.allocations, b.allocations);
-  EXPECT_EQ(a.deallocations, b.deallocations);
-  EXPECT_EQ(a.read_failures, b.read_failures);
-  EXPECT_EQ(a.write_failures, b.write_failures);
-  EXPECT_EQ(a.retries, b.retries);
-  EXPECT_DOUBLE_EQ(a.simulated_micros, b.simulated_micros);
-}
-
-std::vector<PageId> AllocateDb(PoolInterface& pool, uint64_t n) {
-  std::vector<PageId> pages;
-  for (uint64_t i = 0; i < n; ++i) {
-    auto page = pool.NewPage();
-    EXPECT_TRUE(page.ok());
-    pages.push_back((*page)->id());
-    EXPECT_TRUE(pool.UnpinPage((*page)->id(), true).ok());
-  }
-  return pages;
-}
-
-// Forwarding LRU-K wrapper recording the surviving eviction sequence
-// (Restore pops its eviction — eviction skips and flusher peeks cancel
-// out exactly, so what remains is the true victim order).
-class RecordingLruK final : public ReplacementPolicy {
- public:
-  explicit RecordingLruK(LruKOptions options) : inner_(options) {}
-
-  void SetReferencingProcess(uint32_t process) override {
-    inner_.SetReferencingProcess(process);
-  }
-  void PrepareAdmit(PageId p) override { inner_.PrepareAdmit(p); }
-  void RecordAccess(PageId p, AccessType type) override {
-    inner_.RecordAccess(p, type);
-  }
-  void RecordAccessBatch(const AccessRecord* records, size_t n) override {
-    inner_.RecordAccessBatch(records, n);
-  }
-  void Admit(PageId p, AccessType type) override { inner_.Admit(p, type); }
-  std::optional<PageId> Evict() override {
-    auto victim = inner_.Evict();
-    if (victim.has_value()) evictions_.push_back(*victim);
-    return victim;
-  }
-  size_t EvictBatch(size_t k, std::vector<PageId>* out) override {
-    size_t n = inner_.EvictBatch(k, out);
-    evictions_.insert(evictions_.end(), out->begin(), out->end());
-    return n;
-  }
-  void Restore(PageId p) override {
-    // Unused nominees come back in reverse nomination order, but a batch's
-    // CONSUMED nominee stays evicted mid-sequence — so erase the most
-    // recent occurrence instead of asserting strict LIFO.
-    auto it = std::find(evictions_.rbegin(), evictions_.rend(), p);
-    ASSERT_TRUE(it != evictions_.rend());
-    evictions_.erase(std::next(it).base());
-    inner_.Restore(p);
-  }
-  void Remove(PageId p) override { inner_.Remove(p); }
-  void SetEvictable(PageId p, bool evictable) override {
-    inner_.SetEvictable(p, evictable);
-  }
-  size_t ResidentCount() const override { return inner_.ResidentCount(); }
-  size_t EvictableCount() const override { return inner_.EvictableCount(); }
-  bool IsResident(PageId p) const override { return inner_.IsResident(p); }
-  void ForEachResident(
-      const std::function<void(PageId)>& visit) const override {
-    inner_.ForEachResident(visit);
-  }
-  std::string_view Name() const override { return inner_.Name(); }
-
-  const std::vector<PageId>& evictions() const { return evictions_; }
-
- private:
-  LruKPolicy inner_;
-  std::vector<PageId> evictions_;
-};
-
-struct ScenarioResult {
-  BufferPoolStats stats;
-  IoStats io;
-  std::vector<std::vector<PageId>> evictions;
-  std::vector<bool> residency;
-  std::vector<std::string> images;
-};
-
-constexpr uint64_t kDiffDbPages = 96;
-constexpr size_t kDiffCapacity = 24;
-constexpr int kDiffOps = 20000;
-
-// The same mixed deterministic workload as async_io_test.cc: skewed
-// fetches, 25% writes, periodic FlushPage, periodic DeletePage + NewPage
-// (id churn through the allocator's free list).
-void DriveMixedWorkload(PoolInterface& pool, std::vector<PageId>& pages) {
-  RecursiveSkewDistribution dist(0.8, 0.2, pages.size());
-  RandomEngine rng(/*seed=*/20260809);
-  for (int i = 0; i < kDiffOps; ++i) {
-    size_t idx = dist.Sample(rng) - 1;
-    PageId p = pages[idx];
-    bool write = rng.NextBernoulli(0.25);
-    auto page =
-        pool.FetchPage(p, write ? AccessType::kWrite : AccessType::kRead);
-    ASSERT_TRUE(page.ok()) << "op " << i;
-    if (write) {
-      std::memcpy((*page)->Data(), &i, sizeof(i));
-    }
-    ASSERT_TRUE(pool.UnpinPage(p, write).ok()) << "op " << i;
-    if (i % 1009 == 0) ASSERT_TRUE(pool.FlushPage(p).ok());
-    if (i % 501 == 250) {
-      ASSERT_TRUE(pool.DeletePage(p).ok()) << "op " << i;
-      auto fresh = pool.NewPage();
-      ASSERT_TRUE(fresh.ok());
-      pages[idx] = (*fresh)->id();
-      ASSERT_TRUE(pool.UnpinPage((*fresh)->id(), true).ok());
-    }
-  }
-  ASSERT_TRUE(pool.FlushAll().ok());
-}
-
-struct ScenarioConfig {
-  bool sharded = false;
-  bool optimistic = false;
-  size_t batch_capacity = 64;
-  bool async_stack = false;  // Inline dispatcher + background flusher.
-  bool readahead = false;    // Implies the dispatcher (inline).
-};
-
-ScenarioResult RunScenario(const ScenarioConfig& config) {
-  SimDiskManager disk;
-  BufferPoolOptions options;
-  options.batch_capacity = config.batch_capacity;
-  options.optimistic_hits = config.optimistic;
-  if (config.async_stack) {
-    options.io_dispatcher = true;  // Inline: io_workers = 0.
-    options.flusher = true;
-    options.flusher_every_ops = 32;
-    options.flusher_batch = 4;
-  }
-  if (config.readahead) {
-    options.io_dispatcher = true;
-    options.readahead = {.enabled = true, .window = 4, .min_run = 3};
-  }
-
-  ScenarioResult result;
-  std::vector<PageId> pages;
-  if (!config.sharded) {
-    auto policy = std::make_unique<RecordingLruK>(LruKOptions{.k = 2});
-    RecordingLruK* recorder = policy.get();
-    BufferPool pool(kDiffCapacity, &disk, std::move(policy), options);
-    pages = AllocateDb(pool, kDiffDbPages);
-    DriveMixedWorkload(pool, pages);
-    result.stats = pool.stats();
-    result.evictions.push_back(recorder->evictions());
-    for (PageId p : pages) result.residency.push_back(pool.IsResident(p));
-  } else {
-    std::vector<RecordingLruK*> recorders(4, nullptr);
-    ShardedBufferPool pool(
-        kDiffCapacity, /*num_shards=*/4, &disk,
-        [&](size_t shard, size_t) {
-          auto policy = std::make_unique<RecordingLruK>(LruKOptions{.k = 2});
-          recorders[shard] = policy.get();
-          return policy;
-        },
-        options);
-    pages = AllocateDb(pool, kDiffDbPages);
-    DriveMixedWorkload(pool, pages);
-    result.stats = pool.stats();
-    for (RecordingLruK* r : recorders) {
-      result.evictions.push_back(r->evictions());
-    }
-    for (PageId p : pages) result.residency.push_back(pool.IsResident(p));
-  }
-  result.io = disk.stats();
-  char buf[kPageSize];
-  for (PageId p : pages) {
-    EXPECT_TRUE(disk.ReadPage(p, buf).ok());
-    result.images.emplace_back(buf, kPageSize);
-  }
-  return result;
-}
-
-void ExpectScenarioEq(const ScenarioResult& a, const ScenarioResult& b) {
-  ExpectLegacyStatsEq(a.stats, b.stats);
-  EXPECT_EQ(a.evictions, b.evictions);
-  EXPECT_EQ(a.residency, b.residency);
-  EXPECT_EQ(a.images, b.images);
-  ExpectIoStatsEq(a.io, b.io);
+DiffScenarioResult RunScenario(DiffScenarioConfig config) {
+  if (config.batch_capacity == 0) config.batch_capacity = 64;
+  return RunDiffScenario(config);
 }
 
 TEST(OptimisticDifferentialTest, MatchesLatchedPathPlainPool) {
-  ScenarioResult latched = RunScenario({.optimistic = false});
-  ScenarioResult optimistic = RunScenario({.optimistic = true});
+  DiffScenarioResult latched = RunScenario({.optimistic = false});
+  DiffScenarioResult optimistic = RunScenario({.optimistic = true});
   ExpectScenarioEq(latched, optimistic);
   // The fast path actually ran (warm hits dominate a skewed workload) and
   // never misfired: single-threaded, nothing invalidates a probe
@@ -399,8 +207,8 @@ TEST(OptimisticDifferentialTest, MatchesLatchedPathPlainPool) {
 }
 
 TEST(OptimisticDifferentialTest, MatchesLatchedPathShardedPool) {
-  ScenarioResult latched = RunScenario({.sharded = true, .optimistic = false});
-  ScenarioResult optimistic =
+  DiffScenarioResult latched = RunScenario({.sharded = true, .optimistic = false});
+  DiffScenarioResult optimistic =
       RunScenario({.sharded = true, .optimistic = true});
   ExpectScenarioEq(latched, optimistic);
   EXPECT_GT(optimistic.stats.optimistic_hits, 0u);
@@ -412,10 +220,10 @@ TEST(OptimisticDifferentialTest, MatchesLatchedPathUnderAsyncStack) {
   // same victims and clean the same pages as the latched one.
   for (bool sharded : {false, true}) {
     SCOPED_TRACE(sharded ? "sharded" : "plain");
-    ScenarioResult latched =
+    DiffScenarioResult latched =
         RunScenario({.sharded = sharded, .optimistic = false,
                      .async_stack = true});
-    ScenarioResult optimistic =
+    DiffScenarioResult optimistic =
         RunScenario({.sharded = sharded, .optimistic = true,
                      .async_stack = true});
     ExpectScenarioEq(latched, optimistic);
@@ -427,10 +235,10 @@ TEST(OptimisticDifferentialTest, MatchesLatchedPathUnderAsyncStack) {
 TEST(OptimisticDifferentialTest, DefaultBatchAutoBumpMatchesExplicit) {
   // optimistic_hits with batch_capacity left 0 implies batch_capacity 64
   // (a latch-free hit can only publish through the AccessBuffer).
-  ScenarioResult defaulted =
-      RunScenario({.optimistic = true, .batch_capacity = 0});
-  ScenarioResult explicit_batch =
-      RunScenario({.optimistic = true, .batch_capacity = 64});
+  DiffScenarioResult defaulted =
+      RunDiffScenario({.batch_capacity = 0, .optimistic = true});
+  DiffScenarioResult explicit_batch =
+      RunDiffScenario({.batch_capacity = 64, .optimistic = true});
   ExpectScenarioEq(defaulted, explicit_batch);
 
   SimDiskManager disk;
@@ -448,9 +256,9 @@ TEST(OptimisticDifferentialTest, ReadaheadComposesAndStaysIdentical) {
   // still byte-identical to the latched pool with the same detector.
   for (bool sharded : {false, true}) {
     SCOPED_TRACE(sharded ? "sharded" : "plain");
-    ScenarioResult latched = RunScenario(
+    DiffScenarioResult latched = RunScenario(
         {.sharded = sharded, .optimistic = false, .readahead = true});
-    ScenarioResult optimistic = RunScenario(
+    DiffScenarioResult optimistic = RunScenario(
         {.sharded = sharded, .optimistic = true, .readahead = true});
     ExpectScenarioEq(latched, optimistic);
     EXPECT_GT(optimistic.stats.optimistic_hits, 0u);
@@ -464,10 +272,10 @@ TEST(OptimisticDifferentialTest, TinyRingRefusalPathStaysIdentical) {
   // path (drain under the latch + apply directly). The FIFO contract must
   // hold across the refusals — byte-identical again — and single-threaded
   // nothing is ever dropped, even with zero capacity headroom.
-  ScenarioResult latched =
-      RunScenario({.optimistic = false, .batch_capacity = 1});
-  ScenarioResult optimistic =
-      RunScenario({.optimistic = true, .batch_capacity = 1});
+  DiffScenarioResult latched =
+      RunScenario({.batch_capacity = 1, .optimistic = false});
+  DiffScenarioResult optimistic =
+      RunScenario({.batch_capacity = 1, .optimistic = true});
   ExpectScenarioEq(latched, optimistic);
   EXPECT_GT(optimistic.stats.optimistic_hits, 0u);
   EXPECT_EQ(optimistic.stats.access_drops, 0u);
@@ -564,7 +372,7 @@ TEST(OptimisticHitPathTest, StatsSnapshotMatchesStatsWhenQuiescent) {
   // only drift the proxy counter may show.
   BufferPoolStats snap = pool.StatsSnapshot();
   BufferPoolStats full = pool.stats();
-  ExpectLegacyStatsEq(snap, full);
+  ExpectPoolStatsEq(snap, full);
   EXPECT_EQ(snap.optimistic_hits, full.optimistic_hits);
   EXPECT_EQ(snap.optimistic_fallbacks, full.optimistic_fallbacks);
   EXPECT_EQ(snap.pin_cas_retries, full.pin_cas_retries);
